@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index) at the scale given by the ``REPRO_BENCH_SCALE``
+environment variable (``small`` by default, ``medium`` / ``full`` for longer,
+more faithful runs).  Rendered tables/series are printed so a benchmark run
+doubles as a report; EXPERIMENTS.md records paper-vs-measured shapes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentScale, resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return resolve_scale(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+
+def report(title: str, text: str) -> None:
+    """Print a rendered experiment artefact under a visible banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,38 @@
+"""Benchmark E12 — Figure 10(B): sensitivity to the reservoir buffer size."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_buffer_size_experiment
+
+
+def test_fig10b_buffer_size_sensitivity(benchmark, scale):
+    result = benchmark.pedantic(
+        run_buffer_size_experiment,
+        args=(scale,),
+        kwargs={"buffer_fractions": (0.05, 0.1, 0.2)},
+        iterations=1,
+        rounds=1,
+    )
+    report("Figure 10B — time to reach 2x the optimal objective", result.render())
+
+    buffer_sizes = sorted({row.buffer_size for row in result.rows})
+    assert len(buffer_sizes) == 3
+
+    for buffer_size in buffer_sizes:
+        mrs = result.row_for(buffer_size, "mrs")
+        subsampling = result.row_for(buffer_size, "subsampling")
+        # MRS reaches 2x the optimal objective at every buffer size...
+        assert mrs.seconds_to_target is not None
+        # ...and is never slower than plain subsampling (which may not reach
+        # the target at all with small buffers, as its reservoir discards most
+        # of the data — the paper's motivation for MRS).
+        if subsampling.seconds_to_target is not None:
+            assert mrs.epochs_to_target <= subsampling.epochs_to_target
+        else:
+            assert subsampling.seconds_to_target is None
+
+    # Larger buffers help MRS (non-increasing epochs to target).
+    mrs_epochs = [result.row_for(size, "mrs").epochs_to_target for size in buffer_sizes]
+    assert mrs_epochs[0] >= mrs_epochs[-1]

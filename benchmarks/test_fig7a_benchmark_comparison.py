@@ -1,0 +1,37 @@
+"""Benchmark E5 — Figure 7(A): Bismarck vs native analytics tools."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_benchmark_comparison
+
+
+def test_fig7a_bismarck_vs_native_tools(benchmark, scale):
+    result = benchmark.pedantic(run_benchmark_comparison, args=(scale,), iterations=1, rounds=1)
+    report("Figure 7A — time to convergence, Bismarck vs native tools", result.render())
+
+    # Bismarck completes every task (reaches the common quality band).
+    for row in result.rows:
+        assert row.bismarck_seconds is not None, f"Bismarck did not converge on {row.dataset}/{row.task}"
+
+    # On the sparse classification tasks Bismarck is faster than the batch
+    # native tools (the paper reports 2-5x there).
+    sparse_svm = result.row_for("dblife_like", "SVM")
+    assert sparse_svm.speedup is None or sparse_svm.speedup > 1.0
+    sparse_lr = result.row_for("dblife_like", "LR")
+    assert sparse_lr.speedup is None or sparse_lr.speedup > 1.0
+
+    # On LMF the gap is dramatic (orders of magnitude in the paper): the batch
+    # native tool either never reaches the band or is at least 2x slower.
+    lmf = result.row_for("movielens_like", "LMF")
+    assert lmf.baseline_seconds is None or lmf.speedup > 2.0
+
+    # On the dense tasks Bismarck must at least be competitive (the paper's
+    # DBMS A sparse SVM shows the native tool can win narrowly; we allow the
+    # same slack on the small-scale dense problems, where Newton/IRLS is at
+    # its strongest).
+    for dataset, task in (("forest_like", "LR"), ("forest_like", "SVM")):
+        row = result.row_for(dataset, task)
+        if row.baseline_seconds is not None:
+            assert row.bismarck_seconds <= 5.0 * row.baseline_seconds

@@ -1,0 +1,39 @@
+"""Benchmark E8 — Figure 8: impact of data ordering on sparse LR."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_data_ordering_experiment
+
+
+def test_fig8_data_ordering(benchmark, scale):
+    result = benchmark.pedantic(
+        run_data_ordering_experiment, args=(scale,), kwargs={"max_epochs": max(scale.max_epochs, 16)},
+        iterations=1, rounds=1,
+    )
+    report("Figure 8 — ShuffleAlways / ShuffleOnce / Clustered on sparse LR", result.render())
+
+    shuffle_always = result.runs["shuffle_always"]
+    shuffle_once = result.runs["shuffle_once"]
+    clustered = result.runs["clustered"]
+
+    # (A) Epoch view: ShuffleAlways needs no more epochs than ShuffleOnce, and
+    # Clustered is clearly the worst — it needs more epochs than either or
+    # never reaches the target within the budget.
+    assert shuffle_always.epochs_to_target is not None
+    assert shuffle_once.epochs_to_target is not None
+    assert shuffle_always.epochs_to_target <= shuffle_once.epochs_to_target + 2
+    if clustered.epochs_to_target is not None:
+        assert clustered.epochs_to_target >= shuffle_once.epochs_to_target
+
+    # (B) Time view: ShuffleOnce reaches the target no slower than
+    # ShuffleAlways (it avoids the per-epoch shuffle cost).  A small absolute
+    # slack keeps the check robust to scheduler jitter on sub-second runs.
+    assert shuffle_once.seconds_to_target is not None
+    assert shuffle_always.seconds_to_target is not None
+    assert shuffle_once.seconds_to_target <= shuffle_always.seconds_to_target * 1.25 + 0.05
+
+    # The shuffle cost is paid once vs every epoch.
+    assert shuffle_always.shuffle_seconds > shuffle_once.shuffle_seconds
+    assert clustered.shuffle_seconds == 0.0

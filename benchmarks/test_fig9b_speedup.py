@@ -1,0 +1,29 @@
+"""Benchmark E10 — Figure 9(B): per-epoch speed-up vs number of workers."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_speedup_experiment
+
+
+def test_fig9b_speedup_vs_workers(benchmark, scale):
+    result = benchmark.pedantic(
+        run_speedup_experiment, args=(scale,), kwargs={"max_workers": 8}, iterations=1, rounds=1
+    )
+    report("Figure 9B — speed-up of the per-epoch gradient computation", result.render())
+
+    # NoLock achieves the highest (near-linear) speed-up, AIG is close behind,
+    # the pure UDA is sub-linear because of model passing/merging, and Lock
+    # gets essentially no speed-up — exactly Figure 9(B)'s ordering.
+    assert result.speedup("nolock", 8) > 6.5
+    assert result.speedup("aig", 8) > 5.0
+    assert result.speedup("nolock", 8) >= result.speedup("aig", 8)
+    assert result.speedup("aig", 8) > result.speedup("pure_uda", 8)
+    assert 1.0 < result.speedup("pure_uda", 8) < 8.0
+    assert result.speedup("lock", 8) <= 1.1
+
+    # Speed-ups are monotone in the number of workers for the scalable schemes.
+    for scheme in ("nolock", "aig", "pure_uda"):
+        series = result.speedups[scheme]
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))

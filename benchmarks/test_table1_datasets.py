@@ -1,0 +1,20 @@
+"""Benchmark E1 — Table 1: dataset statistics."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_datasets_table
+
+
+def test_table1_dataset_statistics(benchmark, scale):
+    result = benchmark.pedantic(run_datasets_table, args=(scale,), iterations=1, rounds=1)
+    report("Table 1 — dataset statistics", result.render())
+
+    names = {row.name for row in result.rows}
+    assert {"forest_like", "dblife_like", "movielens_like", "conll_like"} <= names
+    # The scalability datasets must be strictly larger than their benchmark
+    # counterparts, as in the paper (Classify300M >> Forest, Matrix5B >> MovieLens).
+    assert result.by_name("classify_large").num_examples > result.by_name("forest_like").num_examples
+    assert result.by_name("matrix_large").num_examples > result.by_name("movielens_like").num_examples
+    assert all(row.approximate_bytes > 0 for row in result.rows)

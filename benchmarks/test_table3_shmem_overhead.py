@@ -1,0 +1,37 @@
+"""Benchmark E3 — Table 3: shared-memory UDA overhead vs the NULL aggregate."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_overhead_table
+
+
+def test_table3_shared_memory_overhead(benchmark, scale):
+    result = benchmark.pedantic(
+        run_overhead_table, args=("shared_memory", scale), kwargs={"repeats": 2},
+        iterations=1, rounds=1,
+    )
+    report("Table 3 — shared-memory UDA overhead vs NULL aggregate", result.render())
+
+    assert all(row.task_seconds > 0 for row in result.rows)
+    assert result.max_overhead_pct() < 1500.0
+
+
+def test_shared_memory_beats_pure_uda_on_dbms_a(benchmark, scale):
+    """The paper's motivation for the shared-memory UDA: on DBMS A, whose pure
+    UDA pays heavy model-passing costs, the shared-memory variant is several
+    times faster."""
+
+    def run_both():
+        return (
+            run_overhead_table("pure_uda", scale, engines=("dbms_a",), repeats=2),
+            run_overhead_table("shared_memory", scale, engines=("dbms_a",), repeats=2),
+        )
+
+    pure, shm = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    report("DBMS A: pure UDA vs shared memory", pure.render() + "\n\n" + shm.render())
+    for dataset, task in (("forest_like", "LR"), ("forest_like", "SVM"), ("movielens_like", "LMF")):
+        pure_row = [r for r in pure.rows if r.dataset == dataset and r.task == task][0]
+        shm_row = [r for r in shm.rows if r.dataset == dataset and r.task == task][0]
+        assert shm_row.task_seconds < pure_row.task_seconds

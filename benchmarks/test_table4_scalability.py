@@ -1,0 +1,21 @@
+"""Benchmark E7 — Table 4: scalability to the large datasets."""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments import run_scalability_experiment
+
+
+def test_table4_scalability(benchmark, scale):
+    result = benchmark.pedantic(run_scalability_experiment, args=(scale,), iterations=1, rounds=1)
+    report("Table 4 — scalability to the large datasets", result.render())
+
+    # Bismarck completes every task within the wall-clock budget.
+    for task in ("LR", "SVM", "LMF", "CRF"):
+        assert result.verdict(task, "bismarck")
+
+    # The batch native/in-memory baselines fail on the complex tasks within
+    # the same budget — the check/X pattern of Table 4.
+    assert not result.verdict("LMF", "native_baseline")
+    assert not result.verdict("CRF", "in_memory_baseline")

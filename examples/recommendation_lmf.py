@@ -1,0 +1,67 @@
+"""Recommendation with low-rank matrix factorisation (the paper's LMF task).
+
+Builds a MovieLens-shaped sparse rating matrix, trains the factorisation with
+Bismarck's IGD-as-a-UDA through the Python API (showing the programmatic side
+of the architecture rather than the SQL front end), and compares against the
+batch-gradient "native tool" baseline — a miniature Figure 7(A) for LMF.
+
+Run with:  python examples/recommendation_lmf.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import train_batch_matrix_factorization
+from repro.core import IGDConfig, train
+from repro.data import load_ratings_table, make_ratings
+from repro.db import Database
+from repro.tasks import LowRankMatrixFactorizationTask
+
+
+def main() -> None:
+    # A 300-user x 200-item rating matrix observed on 6000 cells.
+    ratings = make_ratings(num_rows=300, num_cols=200, num_ratings=6000, rank=5, seed=1)
+    print(f"Generated {len(ratings)} ratings "
+          f"({100 * ratings.density():.2f}% of the matrix observed).")
+
+    database = Database("postgres", seed=0)
+    load_ratings_table(database, "movielens_like", ratings.examples)
+
+    task = LowRankMatrixFactorizationTask(
+        ratings.num_rows, ratings.num_cols, rank=5, mu=0.01
+    )
+    result = train(
+        task,
+        database,
+        "movielens_like",
+        config=IGDConfig(step_size=0.05, max_epochs=20, ordering="shuffle_once", seed=0),
+    )
+    rmse = task.reconstruction_rmse(result.model, ratings.examples)
+    print(f"Bismarck LMF: {result.epochs_run} epochs, "
+          f"objective {result.final_objective:.1f}, RMSE {rmse:.3f}, "
+          f"{result.total_seconds:.2f}s")
+
+    # The native-tool analogue: full-batch gradient descent over all ratings.
+    baseline = train_batch_matrix_factorization(
+        LowRankMatrixFactorizationTask(ratings.num_rows, ratings.num_cols, rank=5, mu=0.01),
+        ratings.examples,
+        step_size=0.002,
+        iterations=20,
+    )
+    baseline_rmse = LowRankMatrixFactorizationTask(
+        ratings.num_rows, ratings.num_cols, rank=5, mu=0.01
+    ).reconstruction_rmse(baseline.model, ratings.examples)
+    print(f"Batch-gradient baseline: objective {baseline.final_objective:.1f}, "
+          f"RMSE {baseline_rmse:.3f}, {baseline.total_seconds:.2f}s")
+
+    # Use the factors for a recommendation: top unseen items for one user.
+    user = 7
+    seen = {example.col for example in ratings.examples if example.row == user}
+    scores = result.model["L"][user] @ result.model["R"].T
+    recommended = [item for item in np.argsort(-scores) if item not in seen][:5]
+    print(f"Top-5 recommendations for user {user}: {recommended}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment this reproduction targets ships setuptools without the
+``wheel`` package, so PEP-517 editable installs (``pip install -e .``) cannot
+build the editable wheel.  This shim lets ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on newer toolchains) install the
+package; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

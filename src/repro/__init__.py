@@ -1,0 +1,58 @@
+"""Bismarck reproduction: a unified architecture for in-RDBMS analytics.
+
+This package reproduces Feng, Kumar, Recht & Ré, "Towards a Unified
+Architecture for in-RDBMS Analytics" (SIGMOD 2012):
+
+* :mod:`repro.db`          — an in-memory RDBMS substrate with user-defined
+  aggregates, shared memory, and a segmented parallel engine;
+* :mod:`repro.core`        — incremental gradient descent as a UDA, data
+  ordering policies, parallelisation schemes, reservoir/MRS sampling;
+* :mod:`repro.tasks`       — the analytics tasks of Figure 1B (LR, SVM, LMF,
+  CRF, Kalman, portfolio, least squares, lasso);
+* :mod:`repro.frontend`    — the MADlib-style SQL interface
+  (``SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label')``);
+* :mod:`repro.baselines`   — "native tool" comparators (IRLS LR, batch SVM,
+  ALS matrix factorisation, batch CRF);
+* :mod:`repro.data`        — synthetic dataset generators shaped like the
+  paper's benchmarks;
+* :mod:`repro.experiments` — the harness regenerating every table and figure
+  of the evaluation section.
+"""
+
+from . import baselines, core, data, db, frontend, tasks
+from .core import (
+    BismarckRunner,
+    IGDConfig,
+    IGDResult,
+    Model,
+    PureUDAParallelism,
+    SharedMemoryParallelism,
+    train,
+    train_in_memory,
+)
+from .db import Database, SegmentedDatabase, connect
+from .frontend import install_frontend
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BismarckRunner",
+    "Database",
+    "IGDConfig",
+    "IGDResult",
+    "Model",
+    "PureUDAParallelism",
+    "SegmentedDatabase",
+    "SharedMemoryParallelism",
+    "__version__",
+    "baselines",
+    "connect",
+    "core",
+    "data",
+    "db",
+    "frontend",
+    "install_frontend",
+    "tasks",
+    "train",
+    "train_in_memory",
+]

@@ -1,0 +1,19 @@
+"""Baseline trainers modelling the 'native' analytics tools of the paper."""
+
+from .als_mf import train_als_matrix_factorization
+from .base import BaselineResult
+from .batch_gd import train_batch_gradient_descent
+from .crf_batch import train_batch_crf
+from .mf_batch import train_batch_matrix_factorization
+from .newton_lr import train_newton_logistic_regression
+from .svm_batch import train_batch_svm
+
+__all__ = [
+    "BaselineResult",
+    "train_als_matrix_factorization",
+    "train_batch_crf",
+    "train_batch_gradient_descent",
+    "train_batch_matrix_factorization",
+    "train_batch_svm",
+    "train_newton_logistic_regression",
+]

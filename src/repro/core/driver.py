@@ -1,0 +1,355 @@
+"""The Bismarck epoch loop (Figure 2): run IGD-as-a-UDA to convergence.
+
+The driver owns everything outside the aggregate itself: the data-ordering
+policy, the parallelism mode, the per-epoch loss computation (itself a UDA),
+the stopping rule, and the bookkeeping the experiments consume (per-epoch
+objective, wall-clock time, gradient-step counts).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..db.engine import Database
+from ..db.parallel import SegmentedDatabase
+from ..db.table import Table
+from ..tasks.base import Task
+from .convergence import EpochRecord, StoppingRule, make_stopping_rule
+from .model import Model
+from .ordering import OrderingPolicy, make_ordering
+from .parallel import (
+    PureUDAParallelism,
+    SharedMemoryParallelism,
+    run_shared_memory_epoch,
+)
+from .proximal import ProximalOperator
+from .stepsize import StepSizeSchedule, make_schedule
+from .uda import IGDAggregate, LossAggregate
+
+
+@dataclass
+class IGDConfig:
+    """Configuration of one Bismarck training run."""
+
+    step_size: StepSizeSchedule | float | dict = 0.1
+    max_epochs: int = 20
+    ordering: OrderingPolicy | str | None = "shuffle_once"
+    stopping: StoppingRule | int | dict | None = None
+    parallelism: PureUDAParallelism | SharedMemoryParallelism | None = None
+    proximal: ProximalOperator | None = None
+    seed: int | None = 0
+    #: Whether to evaluate the objective after every epoch (needed by most
+    #: stopping rules; can be disabled for pure-throughput measurements).
+    compute_objective: bool = True
+
+    def resolved_stopping(self) -> StoppingRule:
+        return make_stopping_rule(self.stopping, max_epochs=self.max_epochs)
+
+    def resolved_ordering(self) -> OrderingPolicy:
+        return make_ordering(self.ordering)
+
+
+@dataclass
+class IGDResult:
+    """Outcome of a Bismarck training run."""
+
+    model: Model
+    history: list[EpochRecord] = field(default_factory=list)
+    total_seconds: float = 0.0
+    converged: bool = False
+    task_name: str = ""
+    ordering_name: str = ""
+    parallelism_name: str = "serial"
+    shuffle_seconds: float = 0.0
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.history)
+
+    @property
+    def final_objective(self) -> float:
+        return self.history[-1].objective if self.history else float("nan")
+
+    def objective_trace(self) -> list[float]:
+        return [record.objective for record in self.history]
+
+    def time_trace(self) -> list[float]:
+        """Cumulative wall-clock seconds at the end of each epoch."""
+        cumulative = 0.0
+        trace = []
+        for record in self.history:
+            cumulative += record.elapsed_seconds
+            trace.append(cumulative)
+        return trace
+
+    def epochs_to_reach(self, target_objective: float) -> int | None:
+        """First epoch count at which the objective is <= target (1-based)."""
+        for record in self.history:
+            if record.objective <= target_objective:
+                return record.epoch + 1
+        return None
+
+    def time_to_reach(self, target_objective: float) -> float | None:
+        """Cumulative seconds at which the objective first reached the target."""
+        cumulative = 0.0
+        for record in self.history:
+            cumulative += record.elapsed_seconds
+            if record.objective <= target_objective:
+                return cumulative
+        return None
+
+
+class BismarckRunner:
+    """Trains one task over one table in a database using IGD-as-a-UDA."""
+
+    def __init__(
+        self,
+        database: Database | SegmentedDatabase,
+        task: Task,
+        config: IGDConfig | None = None,
+    ):
+        self.database = database
+        self.task = task
+        self.config = config or IGDConfig()
+
+    # ---------------------------------------------------------------- public
+    def train(self, table_name: str, *, initial_model: Model | None = None) -> IGDResult:
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        ordering = config.resolved_ordering()
+        stopping = config.resolved_stopping()
+        schedule = make_schedule(config.step_size)
+        proximal = config.proximal if config.proximal is not None else self.task.proximal
+
+        table = self._master_table(table_name)
+        total_start = time.perf_counter()
+
+        shuffles_before = ordering.shuffle_count
+        ordering.prepare(table, rng)
+        self._maybe_redistribute(table_name, ordering, shuffles_before)
+
+        model = initial_model.copy() if initial_model is not None else self.task.initial_model(rng)
+        step_offset = 0
+        history: list[EpochRecord] = []
+        converged = False
+
+        for epoch in range(config.max_epochs):
+            epoch_start = time.perf_counter()
+            shuffles_before = ordering.shuffle_count
+            ordering.before_epoch(table, epoch, rng)
+            self._maybe_redistribute(table_name, ordering, shuffles_before)
+
+            model, steps = self._run_epoch(
+                table_name, table, model, schedule, proximal, epoch, step_offset
+            )
+            step_offset += steps
+
+            objective = float("nan")
+            if config.compute_objective:
+                objective = self._compute_objective(table_name, table, model, proximal)
+            history.append(
+                EpochRecord(
+                    epoch=epoch,
+                    objective=objective,
+                    elapsed_seconds=time.perf_counter() - epoch_start,
+                    gradient_steps=step_offset,
+                    model_norm=model.norm(),
+                )
+            )
+            if config.compute_objective and stopping.should_stop(history):
+                converged = True
+                break
+
+        return IGDResult(
+            model=model,
+            history=history,
+            total_seconds=time.perf_counter() - total_start,
+            converged=converged,
+            task_name=self.task.describe(),
+            ordering_name=ordering.describe(),
+            parallelism_name=self._parallelism_name(),
+            shuffle_seconds=ordering.shuffle_seconds,
+        )
+
+    # -------------------------------------------------------------- internals
+    def _master_table(self, table_name: str) -> Table:
+        if isinstance(self.database, SegmentedDatabase):
+            return self.database.master.table(table_name)
+        return self.database.table(table_name)
+
+    def _maybe_redistribute(
+        self, table_name: str, ordering: OrderingPolicy, shuffles_before: int
+    ) -> None:
+        """Re-partition segments after the ordering policy touched the heap."""
+        if not isinstance(self.database, SegmentedDatabase):
+            return
+        if ordering.shuffle_count != shuffles_before or ordering.name == "clustered":
+            self.database.redistribute(table_name)
+
+    def _parallelism_name(self) -> str:
+        spec = self.config.parallelism
+        if spec is None:
+            return "serial"
+        if isinstance(spec, PureUDAParallelism):
+            return "pure_uda"
+        return f"shared_memory[{spec.scheme}x{spec.workers}]"
+
+    def _run_epoch(
+        self,
+        table_name: str,
+        table: Table,
+        model: Model,
+        schedule: StepSizeSchedule,
+        proximal: ProximalOperator,
+        epoch: int,
+        step_offset: int,
+    ) -> tuple[Model, int]:
+        spec = self.config.parallelism
+
+        if isinstance(spec, SharedMemoryParallelism):
+            if isinstance(self.database, SegmentedDatabase):
+                engine = self.database.master
+            else:
+                engine = self.database
+            updated, steps = run_shared_memory_epoch(
+                table,
+                self.task,
+                model,
+                schedule,
+                spec=spec,
+                epoch=epoch,
+                step_offset=step_offset,
+                proximal=proximal,
+                arena=engine.shared_memory,
+                charge_per_tuple=engine.executor._charge_overhead,
+            )
+            return updated, steps
+
+        aggregate = IGDAggregate(
+            self.task,
+            schedule,
+            initial_model=model,
+            proximal=proximal,
+            epoch=epoch,
+            step_offset=step_offset,
+        )
+
+        if isinstance(spec, PureUDAParallelism):
+            if not isinstance(self.database, SegmentedDatabase):
+                raise TypeError(
+                    "pure-UDA parallelism requires a SegmentedDatabase "
+                    "(shared-nothing segments)"
+                )
+            factory = lambda: IGDAggregate(  # noqa: E731 - tiny closure
+                self.task,
+                schedule,
+                initial_model=model,
+                proximal=proximal,
+                epoch=epoch,
+                step_offset=step_offset,
+            )
+            outcome = self.database.run_parallel_aggregate(table_name, factory)
+            updated: Model = outcome.value
+            steps = int(updated.metadata.get("gradient_steps", len(table))) - step_offset
+            return updated, max(steps, 0)
+
+        # Serial in-RDBMS run: one UDA invocation over the table.
+        if isinstance(self.database, SegmentedDatabase):
+            updated = self.database.master.run_aggregate(table_name, aggregate)
+        else:
+            updated = self.database.run_aggregate(table_name, aggregate)
+        steps = int(updated.metadata.get("gradient_steps", len(table))) - step_offset
+        return updated, max(steps, 0)
+
+    def _compute_objective(
+        self, table_name: str, table: Table, model: Model, proximal: ProximalOperator
+    ) -> float:
+        loss_aggregate = LossAggregate(self.task, model)
+        if isinstance(self.database, SegmentedDatabase):
+            data_term = self.database.master.run_aggregate(table_name, loss_aggregate)
+        else:
+            data_term = self.database.run_aggregate(table_name, loss_aggregate)
+        return float(data_term) + proximal.penalty(model)
+
+
+def train(
+    task: Task,
+    database: Database | SegmentedDatabase,
+    table_name: str,
+    *,
+    config: IGDConfig | None = None,
+    initial_model: Model | None = None,
+    **config_overrides,
+) -> IGDResult:
+    """Convenience wrapper: build a runner and train.
+
+    Keyword overrides are applied on top of ``config`` (or a default config),
+    e.g. ``train(task, db, "points", max_epochs=5, ordering="clustered")``.
+    """
+    base = config or IGDConfig()
+    if config_overrides:
+        values = {**base.__dict__, **config_overrides}
+        base = IGDConfig(**values)
+    return BismarckRunner(database, task, base).train(table_name, initial_model=initial_model)
+
+
+def train_in_memory(
+    task: Task,
+    examples: Sequence,
+    *,
+    step_size: StepSizeSchedule | float | dict = 0.1,
+    epochs: int = 20,
+    shuffle: bool = True,
+    seed: int | None = 0,
+    proximal: ProximalOperator | None = None,
+    compute_objective: bool = True,
+) -> IGDResult:
+    """Run plain IGD over an in-memory example list (no database involved).
+
+    Used by baselines, unit tests and the parallel-convergence experiments that
+    need to control the example stream directly.
+    """
+    rng = np.random.default_rng(seed)
+    schedule = make_schedule(step_size)
+    proximal = proximal if proximal is not None else task.proximal
+    data = list(examples)
+    if shuffle:
+        permutation = rng.permutation(len(data))
+        data = [data[i] for i in permutation]
+
+    model = task.initial_model(rng)
+    history: list[EpochRecord] = []
+    steps = 0
+    total_start = time.perf_counter()
+    for epoch in range(epochs):
+        epoch_start = time.perf_counter()
+        for example in data:
+            alpha = schedule.step_size(steps, epoch)
+            task.gradient_step(model, example, alpha)
+            proximal.apply(model, alpha)
+            steps += 1
+        objective = float("nan")
+        if compute_objective:
+            objective = task.total_loss(model, data) + proximal.penalty(model)
+        history.append(
+            EpochRecord(
+                epoch=epoch,
+                objective=objective,
+                elapsed_seconds=time.perf_counter() - epoch_start,
+                gradient_steps=steps,
+                model_norm=model.norm(),
+            )
+        )
+    return IGDResult(
+        model=model,
+        history=history,
+        total_seconds=time.perf_counter() - total_start,
+        converged=False,
+        task_name=task.describe(),
+        ordering_name="shuffle_once" if shuffle else "as_given",
+        parallelism_name="in_memory",
+    )

@@ -1,0 +1,285 @@
+"""Reservoir sampling, subsampling and multiplexed reservoir sampling (MRS).
+
+Section 3.4 of the paper: when the data is too large to shuffle even once, a
+classical fallback is to *subsample* it with a reservoir sample and train only
+on the buffer — but the reservoir throws away useful data, so convergence is
+slow.  Bismarck's multiplexed reservoir sampling (MRS) runs two workers
+against a shared model:
+
+* the **I/O worker** streams the table, offers every tuple to the reservoir,
+  and takes a gradient step on every tuple the reservoir *drops*;
+* the **memory worker** loops over the previously filled buffer, taking
+  gradient steps on the buffered (without-replacement) sample.
+
+After each full pass of the I/O worker the two buffers are swapped.  The
+reproduction simulates the two workers with a deterministic interleaving: for
+every tuple the I/O worker consumes, the memory worker performs
+``memory_steps_per_io`` gradient steps from its buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..db.table import Table
+from ..db.types import Row
+from ..tasks.base import Task
+from .convergence import EpochRecord
+from .model import Model
+from .proximal import IdentityProximal, ProximalOperator
+from .stepsize import StepSizeSchedule, make_schedule
+
+
+class ReservoirSampler:
+    """Classic reservoir sampling (Vitter): a without-replacement sample of
+    fixed capacity built in one pass, with no shuffle of the underlying data.
+
+    :meth:`offer` returns the item that was *dropped* by this offer: during
+    the fill phase nothing is dropped (returns None); afterwards either the
+    evicted buffer item or the offered item itself is returned.  The dropped
+    item is exactly what MRS's I/O worker takes a gradient step on.
+    """
+
+    def __init__(self, capacity: int, rng: np.random.Generator | None = None):
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self.rng = rng or np.random.default_rng()
+        self.buffer: list[Any] = []
+        self.items_seen = 0
+
+    def offer(self, item: Any) -> Any | None:
+        """Offer one item; returns the dropped item (or None while filling)."""
+        self.items_seen += 1
+        if len(self.buffer) < self.capacity:
+            self.buffer.append(item)
+            return None
+        slot = int(self.rng.integers(0, self.items_seen))
+        if slot < self.capacity:
+            dropped = self.buffer[slot]
+            self.buffer[slot] = item
+            return dropped
+        return item
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.buffer) >= self.capacity
+
+    def sample(self) -> list[Any]:
+        """The current without-replacement sample."""
+        return list(self.buffer)
+
+
+@dataclass
+class SamplingRunResult:
+    """Result of a subsampling or MRS training run."""
+
+    model: Model
+    history: list[EpochRecord] = field(default_factory=list)
+    buffer_size: int = 0
+    scheme: str = ""
+
+    @property
+    def final_objective(self) -> float:
+        return self.history[-1].objective if self.history else float("inf")
+
+    def objective_trace(self) -> list[float]:
+        return [record.objective for record in self.history]
+
+    def epochs_to_reach(self, target: float) -> int | None:
+        """First epoch (1-based) whose objective is at or below ``target``."""
+        for record in self.history:
+            if record.objective <= target:
+                return record.epoch + 1
+        return None
+
+
+def _materialize(examples: Sequence[Any] | Table | Iterable[Any], task: Task) -> list[Any]:
+    if isinstance(examples, Table):
+        return [task.example_from_row(row) for row in examples.scan()]
+    out = []
+    for item in examples:
+        out.append(task.example_from_row(item) if isinstance(item, Row) else item)
+    return out
+
+
+def run_subsampling(
+    examples: Sequence[Any] | Table,
+    task: Task,
+    *,
+    buffer_size: int,
+    step_size: StepSizeSchedule | float | dict = 0.1,
+    epochs: int = 20,
+    proximal: ProximalOperator | None = None,
+    seed: int | None = 0,
+    objective_examples: Sequence[Any] | None = None,
+) -> SamplingRunResult:
+    """Baseline: reservoir-sample a buffer in one pass, then train on it only.
+
+    The per-epoch objective is evaluated on the *full* dataset (or
+    ``objective_examples`` if provided), which is what makes subsampling's
+    slow convergence visible.
+    """
+    import time
+
+    rng = np.random.default_rng(seed)
+    schedule = make_schedule(step_size)
+    proximal = proximal if proximal is not None else task.proximal or IdentityProximal()
+    data = _materialize(examples, task)
+    evaluation = list(objective_examples) if objective_examples is not None else data
+
+    sampler = ReservoirSampler(min(buffer_size, len(data)), rng)
+    for example in data:
+        sampler.offer(example)
+    buffer = sampler.sample()
+
+    model = task.initial_model(rng)
+    history: list[EpochRecord] = []
+    steps = 0
+    for epoch in range(epochs):
+        start = time.perf_counter()
+        for example in buffer:
+            alpha = schedule.step_size(steps, epoch)
+            task.gradient_step(model, example, alpha)
+            proximal.apply(model, alpha)
+            steps += 1
+        objective = task.total_loss(model, evaluation) + proximal.penalty(model)
+        history.append(
+            EpochRecord(
+                epoch=epoch,
+                objective=objective,
+                elapsed_seconds=time.perf_counter() - start,
+                gradient_steps=steps,
+                model_norm=model.norm(),
+            )
+        )
+    return SamplingRunResult(
+        model=model, history=history, buffer_size=len(buffer), scheme="subsampling"
+    )
+
+
+def run_multiplexed_reservoir_sampling(
+    examples: Sequence[Any] | Table,
+    task: Task,
+    *,
+    buffer_size: int,
+    step_size: StepSizeSchedule | float | dict = 0.1,
+    epochs: int = 20,
+    memory_steps_per_io: int = 1,
+    proximal: ProximalOperator | None = None,
+    seed: int | None = 0,
+    objective_examples: Sequence[Any] | None = None,
+) -> SamplingRunResult:
+    """Multiplexed reservoir sampling (Figure 6): I/O and memory workers share a model.
+
+    One "epoch" is one full pass of the I/O worker over the dataset (matching
+    how the paper reports Figure 10).  ``memory_steps_per_io`` controls how many
+    buffered gradient steps the memory worker interleaves per streamed tuple —
+    the analogue of the relative speeds of the two workers.
+    """
+    import time
+
+    rng = np.random.default_rng(seed)
+    schedule = make_schedule(step_size)
+    proximal = proximal if proximal is not None else task.proximal or IdentityProximal()
+    data = _materialize(examples, task)
+    evaluation = list(objective_examples) if objective_examples is not None else data
+
+    capacity = min(buffer_size, max(1, len(data) - 1))
+    model = task.initial_model(rng)
+    history: list[EpochRecord] = []
+    steps = 0
+    #: Buffer B — what the memory worker iterates over; starts empty so the
+    #: memory worker only kicks in after the first pass fills buffer A.
+    memory_buffer: list[Any] = []
+    memory_cursor = 0
+
+    for epoch in range(epochs):
+        start = time.perf_counter()
+        sampler = ReservoirSampler(capacity, rng)  # buffer A for this pass
+        for example in data:
+            # --- I/O worker: reservoir + gradient step on the dropped tuple.
+            dropped = sampler.offer(example)
+            if dropped is not None:
+                alpha = schedule.step_size(steps, epoch)
+                task.gradient_step(model, dropped, alpha)
+                proximal.apply(model, alpha)
+                steps += 1
+            # --- Memory worker: loop over buffer B concurrently.
+            for _ in range(memory_steps_per_io):
+                if not memory_buffer:
+                    break
+                buffered = memory_buffer[memory_cursor % len(memory_buffer)]
+                memory_cursor += 1
+                alpha = schedule.step_size(steps, epoch)
+                task.gradient_step(model, buffered, alpha)
+                proximal.apply(model, alpha)
+                steps += 1
+        # Swap buffers: the freshly filled reservoir becomes the memory worker's.
+        memory_buffer = sampler.sample()
+        memory_cursor = 0
+
+        objective = task.total_loss(model, evaluation) + proximal.penalty(model)
+        history.append(
+            EpochRecord(
+                epoch=epoch,
+                objective=objective,
+                elapsed_seconds=time.perf_counter() - start,
+                gradient_steps=steps,
+                model_norm=model.norm(),
+            )
+        )
+    return SamplingRunResult(
+        model=model, history=history, buffer_size=capacity, scheme="mrs"
+    )
+
+
+def run_clustered_no_shuffle(
+    examples: Sequence[Any] | Table,
+    task: Task,
+    *,
+    step_size: StepSizeSchedule | float | dict = 0.1,
+    epochs: int = 20,
+    proximal: ProximalOperator | None = None,
+    seed: int | None = 0,
+    objective_examples: Sequence[Any] | None = None,
+) -> SamplingRunResult:
+    """Reference scheme for Figure 10: plain IGD over the clustered order.
+
+    No shuffling, no sampling — every epoch walks the data exactly as stored.
+    """
+    import time
+
+    rng = np.random.default_rng(seed)
+    schedule = make_schedule(step_size)
+    proximal = proximal if proximal is not None else task.proximal or IdentityProximal()
+    data = _materialize(examples, task)
+    evaluation = list(objective_examples) if objective_examples is not None else data
+
+    model = task.initial_model(rng)
+    history: list[EpochRecord] = []
+    steps = 0
+    for epoch in range(epochs):
+        start = time.perf_counter()
+        for example in data:
+            alpha = schedule.step_size(steps, epoch)
+            task.gradient_step(model, example, alpha)
+            proximal.apply(model, alpha)
+            steps += 1
+        objective = task.total_loss(model, evaluation) + proximal.penalty(model)
+        history.append(
+            EpochRecord(
+                epoch=epoch,
+                objective=objective,
+                elapsed_seconds=time.perf_counter() - start,
+                gradient_steps=steps,
+                model_norm=model.norm(),
+            )
+        )
+    return SamplingRunResult(model=model, history=history, buffer_size=0, scheme="clustered")

@@ -1,0 +1,62 @@
+"""Dataset generators and database loaders for the Bismarck reproduction."""
+
+from .catx import CATXDataset, make_catx
+from .loaders import (
+    load_catx_table,
+    load_classification_table,
+    load_ratings_table,
+    load_returns_table,
+    load_sequences_table,
+    load_timeseries_table,
+)
+from .portfolio_data import PortfolioDataset, make_portfolio_returns
+from .ratings import RatingsDataset, make_large_ratings, make_ratings
+from .sequences import (
+    SequenceDataset,
+    encode_sequence_for_storage,
+    make_large_sequences,
+    make_sequences,
+)
+from .statistics import (
+    DatasetStatistics,
+    classification_statistics,
+    ratings_statistics,
+    sequence_statistics,
+)
+from .synthetic import (
+    ClassificationDataset,
+    make_dense_classification,
+    make_scalability_classification,
+    make_sparse_classification,
+)
+from .timeseries import TimeSeriesDataset, make_noisy_timeseries
+
+__all__ = [
+    "CATXDataset",
+    "ClassificationDataset",
+    "DatasetStatistics",
+    "PortfolioDataset",
+    "RatingsDataset",
+    "SequenceDataset",
+    "TimeSeriesDataset",
+    "classification_statistics",
+    "encode_sequence_for_storage",
+    "load_catx_table",
+    "load_classification_table",
+    "load_ratings_table",
+    "load_returns_table",
+    "load_sequences_table",
+    "load_timeseries_table",
+    "make_catx",
+    "make_dense_classification",
+    "make_large_ratings",
+    "make_large_sequences",
+    "make_noisy_timeseries",
+    "make_portfolio_returns",
+    "make_ratings",
+    "make_scalability_classification",
+    "make_sequences",
+    "make_sparse_classification",
+    "ratings_statistics",
+    "sequence_statistics",
+]

@@ -1,0 +1,48 @@
+"""The CA-TX dataset (Example 2.1 / 3.1 and Figure 5 of the paper).
+
+``2n`` one-dimensional examples: every feature value is 1, the first ``n``
+labels are +1 ("California") and the remaining ``n`` are -1 ("Texas").  The
+optimal least-squares solution is ``w = 0``; what matters is how fast IGD gets
+there under different visit orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tasks.base import SupervisedExample
+
+
+@dataclass(frozen=True)
+class CATXDataset:
+    """The clustered 1-D dataset, with helpers for the two orderings studied."""
+
+    examples: list[SupervisedExample]
+    n: int
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def clustered(self) -> list[SupervisedExample]:
+        """Ascending-index order: all +1 labels, then all -1 labels (scheme 2)."""
+        return list(self.examples)
+
+    def random_order(self, seed: int | None = 0) -> list[SupervisedExample]:
+        """A random permutation of the data (scheme 1)."""
+        rng = np.random.default_rng(seed)
+        permutation = rng.permutation(len(self.examples))
+        return [self.examples[i] for i in permutation]
+
+    def labels(self) -> np.ndarray:
+        return np.array([example.label for example in self.examples])
+
+
+def make_catx(n: int = 500) -> CATXDataset:
+    """Build the CA-TX dataset with ``2n`` examples (paper uses n = 500)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    examples = [SupervisedExample(1.0, 1.0) for _ in range(n)]
+    examples += [SupervisedExample(1.0, -1.0) for _ in range(n)]
+    return CATXDataset(examples=examples, n=n)

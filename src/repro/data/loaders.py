@@ -1,0 +1,142 @@
+"""Load generated datasets into database tables.
+
+The loaders reproduce the table layouts the paper's tools expect, e.g.
+``LabeledPapers(id, vec, label)`` for classification, a ``(row_id, col_id,
+rating)`` triple table for LMF, and TEXT-encoded sequences for the CRF.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..db.engine import Database
+from ..db.parallel import SegmentedDatabase
+from ..db.table import Table
+from ..db.types import ColumnType, Schema
+from ..tasks.base import SupervisedExample
+from ..tasks.crf import SequenceExample
+from ..tasks.kalman import ObservationExample
+from ..tasks.matrix_factorization import RatingExample
+from ..tasks.portfolio import ReturnSample
+from .sequences import encode_sequence_for_storage
+
+
+def _register(database: Database | SegmentedDatabase, table: Table, replace: bool) -> Table:
+    if isinstance(database, SegmentedDatabase):
+        if replace and database.master.has_table(table.name):
+            database.master.drop_table(table.name)
+        database.load_table(table, replace=replace)
+    else:
+        if replace and database.has_table(table.name):
+            database.drop_table(table.name)
+        database.register_table(table, replace=replace)
+    return table
+
+
+def load_classification_table(
+    database: Database | SegmentedDatabase,
+    name: str,
+    examples: Iterable[SupervisedExample],
+    *,
+    sparse: bool = False,
+    replace: bool = False,
+    feature_column: str = "vec",
+    label_column: str = "label",
+) -> Table:
+    """Load (id, vec, label) rows — the LabeledPapers layout from Section 2.1."""
+    feature_type = ColumnType.SPARSE_VECTOR if sparse else ColumnType.FLOAT_ARRAY
+    schema = Schema.of(
+        ("id", ColumnType.INTEGER),
+        (feature_column, feature_type),
+        (label_column, ColumnType.FLOAT),
+    )
+    table = Table(name, schema)
+    for i, example in enumerate(examples):
+        table.insert((i, example.features, example.label))
+    return _register(database, table, replace)
+
+
+def load_catx_table(
+    database: Database | SegmentedDatabase,
+    name: str,
+    examples: Iterable[SupervisedExample],
+    *,
+    replace: bool = False,
+) -> Table:
+    """Load the 1-D CA-TX dataset as (id, x, y)."""
+    schema = Schema.of(
+        ("id", ColumnType.INTEGER), ("x", ColumnType.FLOAT), ("y", ColumnType.FLOAT)
+    )
+    table = Table(name, schema)
+    for i, example in enumerate(examples):
+        table.insert((i, float(example.features), example.label))
+    return _register(database, table, replace)
+
+
+def load_ratings_table(
+    database: Database | SegmentedDatabase,
+    name: str,
+    examples: Iterable[RatingExample],
+    *,
+    replace: bool = False,
+) -> Table:
+    """Load observed matrix entries as (row_id, col_id, rating)."""
+    schema = Schema.of(
+        ("row_id", ColumnType.INTEGER),
+        ("col_id", ColumnType.INTEGER),
+        ("rating", ColumnType.FLOAT),
+    )
+    table = Table(name, schema)
+    for example in examples:
+        table.insert((example.row, example.col, example.value))
+    return _register(database, table, replace)
+
+
+def load_sequences_table(
+    database: Database | SegmentedDatabase,
+    name: str,
+    examples: Iterable[SequenceExample],
+    *,
+    replace: bool = False,
+) -> Table:
+    """Load token sequences as (id, tokens TEXT, labels TEXT)."""
+    schema = Schema.of(
+        ("id", ColumnType.INTEGER),
+        ("tokens", ColumnType.TEXT),
+        ("labels", ColumnType.TEXT),
+    )
+    table = Table(name, schema)
+    for i, example in enumerate(examples):
+        tokens, labels = encode_sequence_for_storage(example)
+        table.insert((i, tokens, labels))
+    return _register(database, table, replace)
+
+
+def load_timeseries_table(
+    database: Database | SegmentedDatabase,
+    name: str,
+    examples: Iterable[ObservationExample],
+    *,
+    replace: bool = False,
+) -> Table:
+    """Load observations as (t, y FLOAT_ARRAY)."""
+    schema = Schema.of(("t", ColumnType.INTEGER), ("y", ColumnType.FLOAT_ARRAY))
+    table = Table(name, schema)
+    for example in examples:
+        table.insert((example.time_index, example.observation))
+    return _register(database, table, replace)
+
+
+def load_returns_table(
+    database: Database | SegmentedDatabase,
+    name: str,
+    examples: Iterable[ReturnSample],
+    *,
+    replace: bool = False,
+) -> Table:
+    """Load asset return samples as (id, returns FLOAT_ARRAY)."""
+    schema = Schema.of(("id", ColumnType.INTEGER), ("returns", ColumnType.FLOAT_ARRAY))
+    table = Table(name, schema)
+    for i, example in enumerate(examples):
+        table.insert((i, example.returns))
+    return _register(database, table, replace)

@@ -1,0 +1,59 @@
+"""Asset-return samples for the portfolio-optimisation task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tasks.portfolio import ReturnSample
+
+
+@dataclass(frozen=True)
+class PortfolioDataset:
+    """Sampled asset returns plus the generating moments."""
+
+    examples: list[ReturnSample]
+    expected_returns: np.ndarray
+    covariance: np.ndarray
+    name: str = "portfolio_returns"
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    @property
+    def num_assets(self) -> int:
+        return self.expected_returns.shape[0]
+
+    def sample_mean(self) -> np.ndarray:
+        return np.mean([example.returns for example in self.examples], axis=0)
+
+    def sample_covariance(self) -> np.ndarray:
+        stacked = np.stack([example.returns for example in self.examples])
+        return np.cov(stacked, rowvar=False, bias=True)
+
+
+def make_portfolio_returns(
+    num_assets: int = 8,
+    num_samples: int = 500,
+    *,
+    mean_scale: float = 0.05,
+    volatility: float = 0.1,
+    correlation: float = 0.3,
+    seed: int | None = 0,
+) -> PortfolioDataset:
+    """Correlated Gaussian return samples with asset-specific expected returns."""
+    if num_assets <= 1:
+        raise ValueError("need at least two assets")
+    if num_samples <= 1:
+        raise ValueError("need at least two samples")
+    if not 0 <= correlation < 1:
+        raise ValueError("correlation must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    expected = mean_scale * rng.uniform(0.2, 1.0, size=num_assets)
+    base_volatility = volatility * rng.uniform(0.5, 1.5, size=num_assets)
+    covariance = np.outer(base_volatility, base_volatility) * correlation
+    np.fill_diagonal(covariance, base_volatility ** 2)
+    samples = rng.multivariate_normal(expected, covariance, size=num_samples)
+    examples = [ReturnSample(returns=np.asarray(row)) for row in samples]
+    return PortfolioDataset(examples=examples, expected_returns=expected, covariance=covariance)

@@ -1,0 +1,60 @@
+"""Dataset statistics in the style of Table 1 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One row of the dataset-statistics table."""
+
+    name: str
+    dimension: str
+    num_examples: int
+    approximate_bytes: int
+    format: str = "dense"
+
+    def size_human(self) -> str:
+        size = float(self.approximate_bytes)
+        for unit in ("B", "KB", "MB", "GB"):
+            if size < 1024 or unit == "GB":
+                return f"{size:.1f}{unit}"
+            size /= 1024
+        return f"{size:.1f}GB"
+
+    def as_row(self) -> tuple[str, str, int, str, str]:
+        return (self.name, self.dimension, self.num_examples, self.size_human(), self.format)
+
+
+def classification_statistics(dataset) -> DatasetStatistics:
+    """Statistics for a :class:`~repro.data.synthetic.ClassificationDataset`."""
+    return DatasetStatistics(
+        name=dataset.name,
+        dimension=str(dataset.dimension),
+        num_examples=len(dataset),
+        approximate_bytes=dataset.approximate_bytes(),
+        format="sparse-vector" if dataset.sparse else "dense",
+    )
+
+
+def ratings_statistics(dataset) -> DatasetStatistics:
+    """Statistics for a :class:`~repro.data.ratings.RatingsDataset`."""
+    return DatasetStatistics(
+        name=dataset.name,
+        dimension=f"{dataset.num_rows} x {dataset.num_cols}",
+        num_examples=len(dataset),
+        approximate_bytes=dataset.approximate_bytes(),
+        format="sparse-matrix",
+    )
+
+
+def sequence_statistics(dataset) -> DatasetStatistics:
+    """Statistics for a :class:`~repro.data.sequences.SequenceDataset`."""
+    return DatasetStatistics(
+        name=dataset.name,
+        dimension=f"{dataset.num_features} features x {dataset.num_labels} labels",
+        num_examples=len(dataset),
+        approximate_bytes=dataset.approximate_bytes(),
+        format="sparse-vector",
+    )

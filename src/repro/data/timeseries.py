@@ -1,0 +1,74 @@
+"""Noisy linear-dynamical-system time series for the Kalman-filter task."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tasks.kalman import ObservationExample
+
+
+@dataclass(frozen=True)
+class TimeSeriesDataset:
+    """Observations from a linear dynamical system, plus the true states."""
+
+    examples: list[ObservationExample]
+    true_states: np.ndarray
+    dynamics: np.ndarray
+    observation_matrix: np.ndarray
+    noise_scale: float
+    name: str = "kalman_series"
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    @property
+    def num_steps(self) -> int:
+        return self.true_states.shape[0]
+
+    @property
+    def state_dim(self) -> int:
+        return self.true_states.shape[1]
+
+
+def make_noisy_timeseries(
+    num_steps: int = 100,
+    state_dim: int = 2,
+    *,
+    noise_scale: float = 0.3,
+    rotation: float = 0.05,
+    seed: int | None = 0,
+) -> TimeSeriesDataset:
+    """A slowly rotating 2-D (or block-diagonal) system observed with noise."""
+    if num_steps <= 1:
+        raise ValueError("need at least two time steps")
+    if state_dim <= 0:
+        raise ValueError("state_dim must be positive")
+    rng = np.random.default_rng(seed)
+
+    # Block-diagonal rotation dynamics (identity for odd trailing dimension).
+    dynamics = np.eye(state_dim)
+    angle = rotation
+    for block in range(state_dim // 2):
+        c, s = np.cos(angle), np.sin(angle)
+        i = 2 * block
+        dynamics[i:i + 2, i:i + 2] = np.array([[c, -s], [s, c]])
+    observation_matrix = np.eye(state_dim)
+
+    states = np.zeros((num_steps, state_dim))
+    states[0] = rng.normal(scale=1.0, size=state_dim)
+    for t in range(1, num_steps):
+        states[t] = dynamics @ states[t - 1] + 0.02 * rng.normal(size=state_dim)
+
+    examples = []
+    for t in range(num_steps):
+        observation = observation_matrix @ states[t] + noise_scale * rng.normal(size=state_dim)
+        examples.append(ObservationExample(time_index=t, observation=observation))
+    return TimeSeriesDataset(
+        examples=examples,
+        true_states=states,
+        dynamics=dynamics,
+        observation_matrix=observation_matrix,
+        noise_scale=noise_scale,
+    )

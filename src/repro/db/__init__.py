@@ -1,0 +1,81 @@
+"""In-memory RDBMS substrate for the Bismarck reproduction.
+
+The package provides the database features the paper relies on:
+
+* heap tables with clustering/shuffling (:mod:`repro.db.table`),
+* a mini-SQL layer (:mod:`repro.db.parser`, :mod:`repro.db.executor`),
+* user-defined aggregates with the standard ``initialize / transition /
+  terminate`` (+ ``merge``) contract (:mod:`repro.db.aggregates`),
+* a simulated shared-memory facility (:mod:`repro.db.shared_memory`),
+* a single-node engine with per-engine cost personalities
+  (:mod:`repro.db.engine`) and a segmented parallel engine
+  (:mod:`repro.db.parallel`).
+"""
+
+from .aggregates import (
+    AggregateRegistry,
+    FunctionalAggregate,
+    NullAggregate,
+    UserDefinedAggregate,
+)
+from .engine import (
+    DBMS_A,
+    DBMS_B,
+    PERSONALITIES,
+    POSTGRES,
+    Database,
+    EnginePersonality,
+    connect,
+)
+from .errors import (
+    CatalogError,
+    DatabaseError,
+    DuplicateTableError,
+    ExecutionError,
+    ParseError,
+    SchemaError,
+    SharedMemoryError,
+    TypeMismatchError,
+    UnknownColumnError,
+    UnknownFunctionError,
+    UnknownTableError,
+)
+from .executor import QueryResult
+from .parallel import ParallelAggregateResult, SegmentedDatabase
+from .shared_memory import SharedMemoryArena, SharedSegment
+from .table import Table
+from .types import Column, ColumnType, Row, Schema
+
+__all__ = [
+    "AggregateRegistry",
+    "CatalogError",
+    "Column",
+    "ColumnType",
+    "DBMS_A",
+    "DBMS_B",
+    "Database",
+    "DatabaseError",
+    "DuplicateTableError",
+    "EnginePersonality",
+    "ExecutionError",
+    "FunctionalAggregate",
+    "NullAggregate",
+    "PERSONALITIES",
+    "POSTGRES",
+    "ParallelAggregateResult",
+    "ParseError",
+    "QueryResult",
+    "Row",
+    "Schema",
+    "SchemaError",
+    "SegmentedDatabase",
+    "SharedMemoryArena",
+    "SharedMemoryError",
+    "SharedSegment",
+    "Table",
+    "TypeMismatchError",
+    "UnknownColumnError",
+    "UnknownFunctionError",
+    "UnknownTableError",
+    "connect",
+]

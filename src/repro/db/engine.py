@@ -1,0 +1,223 @@
+"""The single-node database engine facade.
+
+:class:`Database` ties together the catalog (tables), the UDA registry, scalar
+user-defined functions, the simulated shared-memory arena and the executor.
+It also carries an :class:`EnginePersonality` that models the per-tuple and
+model-passing cost differences between the three engines the paper evaluates
+(PostgreSQL, "DBMS A", "DBMS B"): the absolute numbers in Tables 2–3 depend on
+the engine, and the personalities let the overhead experiments reproduce the
+relative pattern (DBMS A has expensive function-call / model-passing overhead;
+DBMS B is a parallel engine with cheap per-tuple cost per segment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .aggregates import AggregateRegistry, UserDefinedAggregate
+from .errors import DuplicateTableError, ExecutionError, UnknownTableError
+from .executor import Executor, QueryResult
+from .expressions import Expression
+from .parser import (
+    CreateTableStatement,
+    DropTableStatement,
+    InsertStatement,
+    SelectStatement,
+    parse,
+)
+from .shared_memory import SharedMemoryArena
+from .table import Table
+from .types import Column, ColumnType, Schema
+
+
+@dataclass(frozen=True)
+class EnginePersonality:
+    """Relative cost model of an RDBMS engine.
+
+    ``per_tuple_overhead`` is the abstract cost charged by the executor for
+    every tuple fed to an aggregate (scan + tuple formation + UDA call
+    overhead).  ``model_passing_cost`` is the extra cost charged each time a
+    UDA state (the model) is serialised across a function-call boundary, which
+    is what makes the pure-UDA implementation on DBMS A slow in the paper.
+    ``default_segments`` is the parallelism the engine runs with out of the box.
+    """
+
+    name: str
+    per_tuple_overhead: float = 1.0
+    model_passing_cost: float = 0.0
+    default_segments: int = 1
+
+
+POSTGRES = EnginePersonality(name="postgres", per_tuple_overhead=1.0, model_passing_cost=0.2)
+DBMS_A = EnginePersonality(name="dbms_a", per_tuple_overhead=4.0, model_passing_cost=6.0)
+DBMS_B = EnginePersonality(
+    name="dbms_b", per_tuple_overhead=2.0, model_passing_cost=1.0, default_segments=8
+)
+
+PERSONALITIES: dict[str, EnginePersonality] = {
+    "postgres": POSTGRES,
+    "postgresql": POSTGRES,
+    "dbms_a": DBMS_A,
+    "dbms_b": DBMS_B,
+}
+
+
+class Database:
+    """A single-node in-memory database instance."""
+
+    def __init__(
+        self,
+        personality: EnginePersonality | str = POSTGRES,
+        *,
+        seed: int | None = None,
+    ):
+        if isinstance(personality, str):
+            try:
+                personality = PERSONALITIES[personality.lower()]
+            except KeyError:
+                raise ExecutionError(f"unknown engine personality: {personality!r}") from None
+        self.personality = personality
+        self.tables: dict[str, Table] = {}
+        self.aggregates = AggregateRegistry()
+        self.functions: dict[str, Callable] = {}
+        self.shared_memory = SharedMemoryArena()
+        self.rng = np.random.default_rng(seed)
+        self.executor = Executor(
+            self.aggregates,
+            self.functions,
+            per_tuple_overhead=personality.per_tuple_overhead,
+            model_passing_overhead=personality.model_passing_cost,
+            rng=self.rng,
+        )
+
+    # ----------------------------------------------------------------- DDL/DML
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, ColumnType | str]] | Schema,
+        *,
+        if_not_exists: bool = False,
+    ) -> Table:
+        """Create a table from ``(name, type)`` pairs or an existing Schema."""
+        key = name.lower()
+        if key in self.tables:
+            if if_not_exists:
+                return self.tables[key]
+            raise DuplicateTableError(name)
+        if isinstance(columns, Schema):
+            schema = columns
+        else:
+            schema = Schema.of(
+                *(
+                    (column_name, ColumnType.from_string(t) if isinstance(t, str) else t)
+                    for column_name, t in columns
+                )
+            )
+        table = Table(name, schema)
+        self.tables[key] = table
+        return table
+
+    def register_table(self, table: Table, *, replace: bool = False) -> None:
+        """Register an externally built Table in the catalog."""
+        key = table.name.lower()
+        if key in self.tables and not replace:
+            raise DuplicateTableError(table.name)
+        self.tables[key] = table
+
+    def drop_table(self, name: str, *, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self.tables:
+            if if_exists:
+                return
+            raise UnknownTableError(name)
+        del self.tables[key]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def insert(self, table_name: str, rows) -> int:
+        """Insert rows (a single row or an iterable of rows) into a table."""
+        table = self.table(table_name)
+        if isinstance(rows, (tuple, dict)) or (
+            isinstance(rows, list) and rows and not isinstance(rows[0], (list, tuple, dict))
+        ):
+            table.insert(rows)
+            return 1
+        return table.insert_many(rows)
+
+    # ------------------------------------------------------------ registration
+    def register_aggregate(
+        self, name: str, factory: Callable[[], UserDefinedAggregate]
+    ) -> None:
+        """Register a UDA factory under ``name``."""
+        self.aggregates.register(name, factory)
+
+    def register_function(self, name: str, func: Callable) -> None:
+        """Register a scalar user-defined function (e.g. ``SVMTrain``)."""
+        self.functions[name.lower()] = func
+
+    def has_function(self, name: str) -> bool:
+        return name.lower() in self.functions
+
+    # ------------------------------------------------------------------ query
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and execute one SQL statement."""
+        statement = parse(sql, known_aggregates=self.aggregates.names())
+        if isinstance(statement, CreateTableStatement):
+            self.create_table(statement.name, statement.columns)
+            return QueryResult(columns=[], rows=[])
+        if isinstance(statement, DropTableStatement):
+            self.drop_table(statement.name, if_exists=statement.if_exists)
+            return QueryResult(columns=[], rows=[])
+        if isinstance(statement, InsertStatement):
+            count = self.insert(statement.table, list(statement.rows))
+            return QueryResult(columns=["inserted"], rows=[(count,)])
+        if isinstance(statement, SelectStatement):
+            table = self.table(statement.table) if statement.table else None
+            return self.executor.execute_select(statement, table)
+        raise ExecutionError(f"unsupported statement type: {type(statement).__name__}")
+
+    def query(self, sql: str) -> list[tuple]:
+        """Execute and return just the rows."""
+        return self.execute(sql).rows
+
+    # ---------------------------------------------------------- programmatic
+    def run_aggregate(
+        self,
+        table_name: str,
+        aggregate: UserDefinedAggregate | str,
+        argument: Expression | str | None = None,
+        *,
+        where: Expression | None = None,
+        row_order: Sequence[int] | None = None,
+    ) -> Any:
+        """Run a UDA over a table directly (bypassing SQL), honouring the
+        engine's per-tuple cost model and an optional explicit row order."""
+        table = self.table(table_name)
+        return self.executor.run_aggregate(
+            table, aggregate, argument, where=where, row_order=row_order
+        )
+
+    # ------------------------------------------------------------------ misc
+    def table_names(self) -> list[str]:
+        return sorted(table.name for table in self.tables.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(personality={self.personality.name!r}, "
+            f"tables={self.table_names()})"
+        )
+
+
+def connect(personality: str | EnginePersonality = "postgres", *, seed: int | None = None) -> Database:
+    """Create a new database instance (mirrors a DB-API ``connect`` call)."""
+    return Database(personality, seed=seed)

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the in-memory RDBMS substrate.
+
+The substrate mimics the error surface of a conventional RDBMS: schema
+violations, parse errors, execution errors and catalog lookups each raise a
+distinct exception type so callers (and tests) can react precisely.
+"""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for all errors raised by :mod:`repro.db`."""
+
+
+class SchemaError(DatabaseError):
+    """A table definition or a row violates the declared schema."""
+
+
+class ParseError(DatabaseError):
+    """The mini-SQL parser could not understand a statement."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class ExecutionError(DatabaseError):
+    """A statement parsed correctly but failed during execution."""
+
+
+class CatalogError(DatabaseError):
+    """Base class for catalog lookup failures."""
+
+
+class UnknownTableError(CatalogError):
+    """The referenced table does not exist."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown table: {name!r}")
+        self.table_name = name
+
+
+class DuplicateTableError(CatalogError):
+    """A table with the same name already exists."""
+
+    def __init__(self, name: str):
+        super().__init__(f"table already exists: {name!r}")
+        self.table_name = name
+
+
+class UnknownColumnError(CatalogError):
+    """The referenced column does not exist in the table."""
+
+    def __init__(self, name: str, table: str | None = None):
+        where = f" in table {table!r}" if table else ""
+        super().__init__(f"unknown column: {name!r}{where}")
+        self.column_name = name
+        self.table_name = table
+
+
+class UnknownFunctionError(CatalogError):
+    """The referenced function or aggregate is not registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown function or aggregate: {name!r}")
+        self.function_name = name
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not match the declared column type."""
+
+
+class SharedMemoryError(DatabaseError):
+    """Misuse of the simulated shared-memory facility."""

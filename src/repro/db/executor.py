@@ -1,0 +1,290 @@
+"""Query executor: scans, filters, ordering, limits and aggregation.
+
+The executor is deliberately simple — a pipeline of generators over the heap
+table — but it implements the two things Bismarck depends on faithfully:
+
+* sequential scans return rows in physical (heap) order, so clustering and
+  shuffling of the table are visible to any aggregate run over it; and
+* aggregation runs any :class:`~repro.db.aggregates.UserDefinedAggregate`
+  through the standard ``initialize / transition / terminate`` protocol, one
+  tuple at a time, exactly like the IGD aggregate in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .aggregates import AggregateRegistry, UserDefinedAggregate
+from .errors import ExecutionError
+from .expressions import Expression, FunctionCall, Star
+from .parser import OrderBy, SelectItem, SelectStatement
+from .table import Table
+from .types import Row, Schema
+
+
+@dataclass
+class QueryResult:
+    """Result of executing a statement."""
+
+    columns: list[str]
+    rows: list[tuple]
+    #: Wall-clock execution time in seconds (used by the experiment harness).
+    elapsed_seconds: float = 0.0
+    #: Number of tuples read from base tables during execution.
+    tuples_scanned: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def scalar(self) -> Any:
+        """Return the single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ExecutionError(
+                f"scalar() called on a {len(self.rows)}x"
+                f"{len(self.rows[0]) if self.rows else 0} result"
+            )
+        return self.rows[0][0]
+
+    def column(self, name_or_index: str | int) -> list:
+        """Materialise one output column."""
+        if isinstance(name_or_index, str):
+            try:
+                index = self.columns.index(name_or_index)
+            except ValueError:
+                raise ExecutionError(f"no output column named {name_or_index!r}") from None
+        else:
+            index = name_or_index
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class Executor:
+    """Executes parsed SELECT statements and programmatic aggregations."""
+
+    def __init__(
+        self,
+        aggregates: AggregateRegistry,
+        functions: dict[str, Callable] | None = None,
+        *,
+        per_tuple_overhead: float = 0.0,
+        model_passing_overhead: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        self.aggregates = aggregates
+        # Keep a reference to the caller's registry (not a copy): functions
+        # registered after the executor is built must remain visible.
+        self.functions = functions if functions is not None else {}
+        #: Simulated fixed cost charged per tuple fed to an aggregate; the
+        #: engine personalities use this to model per-engine differences
+        #: (Tables 2 and 3 in the paper).  Charged as busy-wait-free arithmetic
+        #: accumulation (not sleep) so results are deterministic.
+        self.per_tuple_overhead = per_tuple_overhead
+        #: Extra per-tuple cost charged when the aggregate's state (the model)
+        #: must be serialised across the engine's function-call boundary; the
+        #: charge is scaled by the aggregate's ``state_passing_units``.
+        self.model_passing_overhead = model_passing_overhead
+        self.rng = rng or np.random.default_rng()
+
+    # ---------------------------------------------------------------- SELECT
+    def execute_select(self, statement: SelectStatement, table: Table | None) -> QueryResult:
+        start = time.perf_counter()
+        if statement.table is None:
+            result = self._execute_tableless(statement)
+        elif statement.has_aggregates:
+            result = self._execute_aggregate_select(statement, table)
+        else:
+            result = self._execute_plain_select(statement, table)
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    def _execute_tableless(self, statement: SelectStatement) -> QueryResult:
+        columns: list[str] = []
+        values: list[Any] = []
+        for i, item in enumerate(statement.items):
+            if isinstance(item.expression, Star):
+                raise ExecutionError("'*' requires a FROM clause")
+            columns.append(item.alias or _default_name(item, i))
+            values.append(item.expression.evaluate(None, self.functions))
+        return QueryResult(columns=columns, rows=[tuple(values)])
+
+    def _row_source(self, statement: SelectStatement, table: Table) -> tuple[Iterable[Row], int]:
+        rows: Iterable[Row] = table.scan()
+        scanned = len(table)
+        if statement.where is not None:
+            predicate = statement.where
+            rows = (
+                row for row in rows if bool(predicate.evaluate(row, self.functions))
+            )
+        return rows, scanned
+
+    def _apply_order_limit(
+        self, rows: Iterable[Row], order_by: OrderBy | None, limit: int | None
+    ) -> list[Row]:
+        if order_by is not None:
+            materialized = list(rows)
+            if order_by.random:
+                permutation = self.rng.permutation(len(materialized))
+                materialized = [materialized[i] for i in permutation]
+            else:
+                materialized.sort(
+                    key=lambda row: order_by.expression.evaluate(row, self.functions),
+                    reverse=order_by.descending,
+                )
+            rows = materialized
+        if limit is not None:
+            limited: list[Row] = []
+            for row in rows:
+                if len(limited) >= limit:
+                    break
+                limited.append(row)
+            return limited
+        return list(rows)
+
+    def _execute_plain_select(self, statement: SelectStatement, table: Table) -> QueryResult:
+        if table is None:
+            raise ExecutionError("SELECT with FROM requires a table")
+        rows, scanned = self._row_source(statement, table)
+        ordered = self._apply_order_limit(rows, statement.order_by, statement.limit)
+
+        star_only = len(statement.items) == 1 and isinstance(statement.items[0].expression, Star)
+        if star_only:
+            columns = list(table.schema.column_names)
+            output = [row.values for row in ordered]
+            return QueryResult(columns=columns, rows=output, tuples_scanned=scanned)
+
+        columns = [
+            item.alias or _default_name(item, i) for i, item in enumerate(statement.items)
+        ]
+        output = []
+        for row in ordered:
+            output.append(
+                tuple(item.expression.evaluate(row, self.functions) for item in statement.items)
+            )
+        return QueryResult(columns=columns, rows=output, tuples_scanned=scanned)
+
+    def _execute_aggregate_select(self, statement: SelectStatement, table: Table) -> QueryResult:
+        if table is None:
+            raise ExecutionError("aggregate query requires a table")
+        if any(item.aggregate_name is None for item in statement.items):
+            raise ExecutionError(
+                "mixing aggregate and non-aggregate select items without GROUP BY "
+                "is not supported"
+            )
+        rows, scanned = self._row_source(statement, table)
+        ordered = self._apply_order_limit(rows, statement.order_by, None)
+
+        instances: list[UserDefinedAggregate] = []
+        arguments: list[Expression] = []
+        for item in statement.items:
+            instances.append(self.aggregates.create(item.aggregate_name))
+            arguments.append(item.aggregate_argument or Star())
+
+        states = [instance.initialize() for instance in instances]
+        passing_units = max(instance.state_passing_units for instance in instances)
+        overhead_sink = 0.0
+        for row in ordered:
+            overhead_sink += self._charge_overhead(passing_units)
+            for i, instance in enumerate(instances):
+                value = row if instance.wants_row else self._aggregate_input(arguments[i], row)
+                states[i] = instance.transition(states[i], value)
+        results = tuple(
+            instance.terminate(state) for instance, state in zip(instances, states)
+        )
+        columns = [
+            item.alias or _default_name(item, i) for i, item in enumerate(statement.items)
+        ]
+        result = QueryResult(columns=columns, rows=[results], tuples_scanned=scanned)
+        # Keep the accumulated overhead reachable so it cannot be optimised out.
+        result.overhead_sink = overhead_sink  # type: ignore[attr-defined]
+        return result
+
+    def _aggregate_input(self, argument: Expression, row: Row) -> Any:
+        if isinstance(argument, Star):
+            return row
+        return argument.evaluate(row, self.functions)
+
+    def _charge_overhead(self, state_passing_units: float = 0.0) -> float:
+        """Simulate a per-tuple engine cost with a small arithmetic loop.
+
+        Returns the accumulated value so callers can keep it live.  The amount
+        of work scales linearly with ``per_tuple_overhead`` plus
+        ``model_passing_overhead * state_passing_units`` (abstract cost units;
+        1.0 unit ~ a few hundred float multiplies).
+        """
+        cost = self.per_tuple_overhead + self.model_passing_overhead * state_passing_units
+        if cost <= 0:
+            return 0.0
+        iterations = int(cost * 64)
+        sink = 1.0
+        for i in range(iterations):
+            sink = sink * 1.0000001 + 1e-9 * i
+        return sink
+
+    # ------------------------------------------------------- programmatic API
+    def run_aggregate(
+        self,
+        table: Table,
+        aggregate: UserDefinedAggregate | str,
+        argument: Expression | str | None = None,
+        *,
+        where: Expression | None = None,
+        row_order: Sequence[int] | None = None,
+    ) -> Any:
+        """Run a single aggregate over a table without going through SQL.
+
+        ``row_order`` optionally specifies the tuple visit order (a permutation
+        of row ordinals) — this is how the ordering policies express
+        shuffle-once / shuffle-always without physically rewriting the table.
+        """
+        instance = (
+            self.aggregates.create(aggregate) if isinstance(aggregate, str) else aggregate
+        )
+        argument_expression: Expression | None
+        if isinstance(argument, str):
+            from .expressions import ColumnRef
+
+            argument_expression = ColumnRef(argument)
+        else:
+            argument_expression = argument
+
+        state = instance.initialize()
+        overhead_sink = 0.0
+        if row_order is None:
+            row_iter: Iterable[Row] = table.scan()
+        else:
+            row_iter = (table.row_at(i) for i in row_order)
+        for row in row_iter:
+            if where is not None and not bool(where.evaluate(row, self.functions)):
+                continue
+            overhead_sink += self._charge_overhead(instance.state_passing_units)
+            if instance.wants_row or argument_expression is None:
+                value: Any = row
+            else:
+                value = argument_expression.evaluate(row, self.functions)
+            state = instance.transition(state, value)
+        result = instance.terminate(state)
+        if overhead_sink < 0:  # pragma: no cover - keeps the sink live
+            raise ExecutionError("overhead accumulator underflow")
+        return result
+
+
+def _default_name(item: SelectItem, index: int) -> str:
+    expression = item.expression
+    if item.aggregate_name is not None:
+        return item.aggregate_name
+    if isinstance(expression, FunctionCall):
+        return expression.name.lower()
+    from .expressions import ColumnRef
+
+    if isinstance(expression, ColumnRef):
+        return expression.name
+    return f"column{index}"

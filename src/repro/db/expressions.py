@@ -1,0 +1,172 @@
+"""A tiny expression AST and evaluator for predicates and projections.
+
+The executor evaluates these nodes against :class:`repro.db.types.Row`
+instances.  Only the operators needed by the Bismarck workloads (comparisons,
+boolean connectives, arithmetic, literals, column references and scalar
+function calls) are implemented.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .errors import ExecutionError
+from .types import Row
+
+
+class Expression:
+    """Base class for expression AST nodes."""
+
+    def evaluate(self, row: Row | None, functions: dict[str, Callable] | None = None) -> Any:
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        """Column names referenced anywhere in this expression."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Row | None, functions: dict[str, Callable] | None = None) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A reference to a column of the current row."""
+
+    name: str
+
+    def evaluate(self, row: Row | None, functions: dict[str, Callable] | None = None) -> Any:
+        if row is None:
+            raise ExecutionError(f"column reference {self.name!r} outside of a row context")
+        return row[self.name]
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` — the whole row, as a dict."""
+
+    def evaluate(self, row: Row | None, functions: dict[str, Callable] | None = None) -> Any:
+        if row is None:
+            raise ExecutionError("'*' used outside of a row context")
+        return row.as_dict()
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+
+_BINARY_OPERATORS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operator applied to two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Row | None, functions: dict[str, Callable] | None = None) -> Any:
+        try:
+            func = _BINARY_OPERATORS[self.op.lower()]
+        except KeyError:
+            raise ExecutionError(f"unsupported binary operator {self.op!r}") from None
+        left = self.left.evaluate(row, functions)
+        right = self.right.evaluate(row, functions)
+        try:
+            return func(left, right)
+        except TypeError as exc:
+            raise ExecutionError(
+                f"cannot apply {self.op!r} to {left!r} and {right!r}: {exc}"
+            ) from exc
+        except ZeroDivisionError:
+            raise ExecutionError("division by zero") from None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operator (``-`` or ``NOT``)."""
+
+    op: str
+    operand: Expression
+
+    def evaluate(self, row: Row | None, functions: dict[str, Callable] | None = None) -> Any:
+        value = self.operand.evaluate(row, functions)
+        op = self.op.lower()
+        if op == "-":
+            return -value
+        if op == "not":
+            return not bool(value)
+        raise ExecutionError(f"unsupported unary operator {self.op!r}")
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A scalar function call, resolved against the registered UDFs."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+    def evaluate(self, row: Row | None, functions: dict[str, Callable] | None = None) -> Any:
+        functions = functions or {}
+        key = self.name.lower()
+        if key not in functions:
+            from .errors import UnknownFunctionError
+
+            raise UnknownFunctionError(self.name)
+        values = [arg.evaluate(row, functions) for arg in self.args]
+        return functions[key](*values)
+
+    def referenced_columns(self) -> set[str]:
+        referenced: set[str] = set()
+        for arg in self.args:
+            referenced |= arg.referenced_columns()
+        return referenced
+
+
+def _collect_binary_columns(expr: BinaryOp) -> set[str]:
+    return expr.left.referenced_columns() | expr.right.referenced_columns()
+
+
+# dataclasses with frozen=True cannot easily override methods declared on the
+# base class through the dataclass machinery alone; attach the column
+# collection for BinaryOp explicitly.
+BinaryOp.referenced_columns = _collect_binary_columns  # type: ignore[method-assign]
+
+
+def evaluate_all(
+    expressions: Sequence[Expression],
+    row: Row | None,
+    functions: dict[str, Callable] | None = None,
+) -> list[Any]:
+    """Evaluate a list of expressions against one row."""
+    return [expression.evaluate(row, functions) for expression in expressions]

@@ -1,0 +1,458 @@
+"""A mini-SQL parser for the subset of SQL the Bismarck workloads use.
+
+Supported statements::
+
+    CREATE TABLE t (id INT, vec FLOAT8[], label FLOAT)
+    DROP TABLE t
+    INSERT INTO t VALUES (1, ARRAY[1.0, 2.0], -1), (2, ARRAY[0.5], 1)
+    SELECT * FROM t WHERE label > 0 ORDER BY id LIMIT 10
+    SELECT count(*), avg(label) FROM t
+    SELECT * FROM t ORDER BY RANDOM()
+    SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label')
+
+The last form — a scalar function call with no ``FROM`` clause — is how the
+MADlib-style front end (``repro.frontend``) is invoked, exactly mirroring the
+query shown in Section 2.1 of the paper.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .errors import ParseError
+from .expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from .types import ColumnType
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|<=|>=|!=|==|[=<>+\-*/%(),;\[\]])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {
+    "select", "from", "where", "order", "by", "limit", "insert", "into",
+    "values", "create", "drop", "table", "and", "or", "not", "asc", "desc",
+    "random", "array", "as", "null", "true", "false", "group",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "string" | "ident" | "keyword" | "op" | "eof"
+    value: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split a SQL string into tokens; raises ParseError on garbage."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise ParseError(f"unexpected character {sql[position]!r}", position)
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup or "op"
+        value = match.group()
+        if kind == "ident" and value.lower() in KEYWORDS:
+            kind = "keyword"
+            value = value.lower()
+        tokens.append(Token(kind, value, match.start()))
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Statement AST
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expression
+    alias: str | None = None
+    #: Set for aggregate calls, e.g. ``count`` for COUNT(*); None for scalars.
+    aggregate_name: str | None = None
+    #: Argument expression of the aggregate (Star() for COUNT(*)).
+    aggregate_argument: Expression | None = None
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    expression: Expression | None  # None means ORDER BY RANDOM()
+    descending: bool = False
+    random: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: tuple[SelectItem, ...]
+    table: str | None
+    where: Expression | None = None
+    order_by: OrderBy | None = None
+    limit: int | None = None
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(item.aggregate_name is not None for item in self.items)
+
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    name: str
+    columns: tuple[tuple[str, ColumnType], ...]
+
+
+@dataclass(frozen=True)
+class DropTableStatement:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    rows: tuple[tuple[Any, ...], ...] = field(default_factory=tuple)
+
+
+Statement = SelectStatement | CreateTableStatement | DropTableStatement | InsertStatement
+
+
+# ---------------------------------------------------------------------------
+# Recursive-descent parser
+# ---------------------------------------------------------------------------
+class _Parser:
+    def __init__(self, sql: str, known_aggregates: set[str] | None = None):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+        self.known_aggregates = {name.lower() for name in (known_aggregates or set())}
+
+    # ------------------------------------------------------------- utilities
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def check(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        if value is not None and token.value.lower() != value.lower():
+            return False
+        return True
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            actual = self.peek()
+            expected = value or kind
+            raise ParseError(
+                f"expected {expected!r} but found {actual.value!r}", actual.position
+            )
+        return token
+
+    # ------------------------------------------------------------ statements
+    def parse_statement(self) -> Statement:
+        if self.check("keyword", "select"):
+            statement = self.parse_select()
+        elif self.check("keyword", "create"):
+            statement = self.parse_create_table()
+        elif self.check("keyword", "drop"):
+            statement = self.parse_drop_table()
+        elif self.check("keyword", "insert"):
+            statement = self.parse_insert()
+        else:
+            token = self.peek()
+            raise ParseError(f"unexpected start of statement: {token.value!r}", token.position)
+        self.accept("op", ";")
+        if not self.check("eof"):
+            token = self.peek()
+            raise ParseError(f"trailing input after statement: {token.value!r}", token.position)
+        return statement
+
+    def parse_create_table(self) -> CreateTableStatement:
+        self.expect("keyword", "create")
+        self.expect("keyword", "table")
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        columns: list[tuple[str, ColumnType]] = []
+        while True:
+            column_name = self.expect("ident").value
+            type_tokens = [self.expect("ident").value]
+            # Allow array suffix, e.g. FLOAT8[]
+            if self.accept("op", "["):
+                self.expect("op", "]")
+                type_tokens.append("[]")
+            type_name = "".join(type_tokens)
+            columns.append((column_name, ColumnType.from_string(type_name)))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        return CreateTableStatement(name=name, columns=tuple(columns))
+
+    def parse_drop_table(self) -> DropTableStatement:
+        self.expect("keyword", "drop")
+        self.expect("keyword", "table")
+        if_exists = False
+        if self.check("ident", "if"):
+            self.advance()
+            exists_token = self.expect("ident")
+            if exists_token.value.lower() != "exists":
+                raise ParseError("expected EXISTS after IF", exists_token.position)
+            if_exists = True
+        name = self.expect("ident").value
+        return DropTableStatement(name=name, if_exists=if_exists)
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect("keyword", "insert")
+        self.expect("keyword", "into")
+        table = self.expect("ident").value
+        self.expect("keyword", "values")
+        rows: list[tuple[Any, ...]] = []
+        while True:
+            self.expect("op", "(")
+            values: list[Any] = []
+            while True:
+                values.append(self.parse_literal_value())
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+            rows.append(tuple(values))
+            if not self.accept("op", ","):
+                break
+        return InsertStatement(table=table, rows=tuple(rows))
+
+    def parse_literal_value(self) -> Any:
+        """Parse a literal usable in VALUES: numbers, strings, booleans, arrays."""
+        if self.accept("keyword", "null"):
+            return None
+        if self.accept("keyword", "true"):
+            return True
+        if self.accept("keyword", "false"):
+            return False
+        if self.check("keyword", "array"):
+            self.advance()
+            self.expect("op", "[")
+            items: list[float] = []
+            if not self.check("op", "]"):
+                while True:
+                    items.append(float(self._parse_signed_number()))
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", "]")
+            return items
+        if self.check("string"):
+            return self._string_value(self.advance().value)
+        return self._parse_signed_number()
+
+    def _parse_signed_number(self) -> float | int:
+        negative = False
+        if self.accept("op", "-"):
+            negative = True
+        elif self.accept("op", "+"):
+            pass
+        token = self.expect("number")
+        value = _number_value(token.value)
+        return -value if negative else value
+
+    @staticmethod
+    def _string_value(raw: str) -> str:
+        return raw[1:-1].replace("''", "'")
+
+    # ---------------------------------------------------------------- select
+    def parse_select(self) -> SelectStatement:
+        self.expect("keyword", "select")
+        items = [self.parse_select_item()]
+        while self.accept("op", ","):
+            items.append(self.parse_select_item())
+
+        table: str | None = None
+        where: Expression | None = None
+        order_by: OrderBy | None = None
+        limit: int | None = None
+
+        if self.accept("keyword", "from"):
+            table = self.expect("ident").value
+        if self.accept("keyword", "where"):
+            where = self.parse_expression()
+        if self.accept("keyword", "order"):
+            self.expect("keyword", "by")
+            if self.check("keyword", "random"):
+                self.advance()
+                self.expect("op", "(")
+                self.expect("op", ")")
+                order_by = OrderBy(expression=None, random=True)
+            else:
+                expression = self.parse_expression()
+                descending = False
+                if self.accept("keyword", "desc"):
+                    descending = True
+                else:
+                    self.accept("keyword", "asc")
+                order_by = OrderBy(expression=expression, descending=descending)
+        if self.accept("keyword", "limit"):
+            limit_token = self.expect("number")
+            limit = int(_number_value(limit_token.value))
+
+        return SelectStatement(
+            items=tuple(items), table=table, where=where, order_by=order_by, limit=limit
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        if self.check("op", "*"):
+            self.advance()
+            return SelectItem(expression=Star())
+        expression = self.parse_expression()
+        alias = None
+        if self.accept("keyword", "as"):
+            alias = self.expect("ident").value
+        elif self.check("ident") and not self.check("keyword"):
+            # Bare alias (SELECT expr name) — only if next token is an identifier.
+            alias = self.advance().value
+        aggregate_name = None
+        aggregate_argument = None
+        if isinstance(expression, FunctionCall) and self._is_aggregate(expression.name):
+            aggregate_name = expression.name.lower()
+            aggregate_argument = expression.args[0] if expression.args else Star()
+        return SelectItem(
+            expression=expression,
+            alias=alias,
+            aggregate_name=aggregate_name,
+            aggregate_argument=aggregate_argument,
+        )
+
+    def _is_aggregate(self, name: str) -> bool:
+        return name.lower() in self.known_aggregates
+
+    # ----------------------------------------------------------- expressions
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.accept("keyword", "or"):
+            right = self.parse_and()
+            left = BinaryOp("or", left, right)
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.accept("keyword", "and"):
+            right = self.parse_not()
+            left = BinaryOp("and", left, right)
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.accept("keyword", "not"):
+            return UnaryOp("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_additive()
+        while self.check("op") and self.peek().value in ("=", "==", "!=", "<>", "<", "<=", ">", ">="):
+            op = self.advance().value
+            right = self.parse_additive()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while self.check("op") and self.peek().value in ("+", "-"):
+            op = self.advance().value
+            right = self.parse_multiplicative()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while self.check("op") and self.peek().value in ("*", "/", "%"):
+            op = self.advance().value
+            right = self.parse_unary()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expression:
+        if self.check("op") and self.peek().value == "-":
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        if self.accept("op", "("):
+            expression = self.parse_expression()
+            self.expect("op", ")")
+            return expression
+        if self.check("number"):
+            return Literal(_number_value(self.advance().value))
+        if self.check("string"):
+            return Literal(self._string_value(self.advance().value))
+        if self.accept("keyword", "null"):
+            return Literal(None)
+        if self.accept("keyword", "true"):
+            return Literal(True)
+        if self.accept("keyword", "false"):
+            return Literal(False)
+        if self.check("op", "*"):
+            self.advance()
+            return Star()
+        if self.check("ident") or self.check("keyword", "random"):
+            name = self.advance().value
+            if self.accept("op", "("):
+                args: list[Expression] = []
+                if not self.check("op", ")"):
+                    if self.check("op", "*"):
+                        self.advance()
+                        args.append(Star())
+                    else:
+                        args.append(self.parse_expression())
+                        while self.accept("op", ","):
+                            args.append(self.parse_expression())
+                self.expect("op", ")")
+                return FunctionCall(name, tuple(args))
+            return ColumnRef(name)
+        token = self.peek()
+        raise ParseError(f"unexpected token {token.value!r} in expression", token.position)
+
+
+def _number_value(text: str) -> int | float:
+    if re.fullmatch(r"\d+", text):
+        return int(text)
+    return float(text)
+
+
+def parse(sql: str, known_aggregates: Sequence[str] | None = None) -> Statement:
+    """Parse a single SQL statement into its AST.
+
+    ``known_aggregates`` lets the engine tell the parser which function names
+    denote aggregates (so ``count(*)`` is recognised as an aggregation while
+    ``SVMTrain(...)`` remains a scalar UDF call).
+    """
+    return _Parser(sql, set(known_aggregates or [])).parse_statement()

@@ -1,0 +1,129 @@
+"""Simulated shared-memory facility ("LWLock"-style) for UDAs.
+
+Section 3.3 of the paper relies on the fact that all three RDBMSes expose a
+way for user code to allocate and manage shared memory, so the model being
+learned can live outside the per-aggregate state and be updated concurrently
+by several workers.  This module provides that facility for our substrate:
+
+* a named arena of numpy arrays (:class:`SharedMemoryArena`);
+* per-segment locks (:meth:`SharedSegment.lock`) for the "Lock" scheme;
+* a per-component compare-and-exchange primitive
+  (:meth:`SharedSegment.compare_and_exchange`) that the "AIG" scheme uses; and
+* raw unsynchronised access for the "NoLock" (Hogwild) scheme.
+
+Because the reproduction simulates workers cooperatively (deterministic
+interleaving rather than preemptive threads), the locks never contend in the
+OS sense — but every acquisition is *counted*, which is what the speed-up cost
+model in :mod:`repro.experiments.parallelism` consumes.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .errors import SharedMemoryError
+
+
+@dataclass
+class SharedSegment:
+    """One named shared-memory segment holding a float64 array."""
+
+    name: str
+    array: np.ndarray
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    lock_acquisitions: int = 0
+    atomic_operations: int = 0
+    unsynchronised_writes: int = 0
+
+    @contextmanager
+    def lock(self) -> Iterator[np.ndarray]:
+        """Acquire the segment lock and yield the array (the "Lock" scheme)."""
+        with self._lock:
+            self.lock_acquisitions += 1
+            yield self.array
+
+    def compare_and_exchange(self, index: int, expected: float, new_value: float) -> bool:
+        """Atomically replace ``array[index]`` if it still equals ``expected``.
+
+        Mirrors the CompareAndExchange instruction used by AIG [Niu et al.].
+        Returns True on success, False if the value changed underneath us.
+        """
+        with self._lock:
+            self.atomic_operations += 1
+            if self.array[index] == expected:
+                self.array[index] = new_value
+                return True
+            return False
+
+    def atomic_add(self, index: int, delta: float, max_retries: int = 64) -> None:
+        """Per-component atomic add built on compare-and-exchange (AIG update)."""
+        for _ in range(max_retries):
+            current = float(self.array[index])
+            if self.compare_and_exchange(index, current, current + delta):
+                return
+        raise SharedMemoryError(
+            f"atomic_add on segment {self.name!r} exceeded {max_retries} retries"
+        )
+
+    def unsynchronised_add(self, indices: np.ndarray | list[int], deltas: np.ndarray) -> None:
+        """Race-prone add with no synchronisation (the NoLock / Hogwild update)."""
+        self.unsynchronised_writes += 1
+        self.array[indices] += deltas
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the current contents (a worker's possibly-stale read)."""
+        return self.array.copy()
+
+
+class SharedMemoryArena:
+    """A named collection of shared segments, one arena per database."""
+
+    def __init__(self) -> None:
+        self._segments: dict[str, SharedSegment] = {}
+
+    def allocate(self, name: str, shape: int | tuple[int, ...], *, fill: float = 0.0) -> SharedSegment:
+        """Allocate a new named segment; fails if the name is taken."""
+        if name in self._segments:
+            raise SharedMemoryError(f"shared segment already exists: {name!r}")
+        array = np.full(shape, fill, dtype=np.float64)
+        segment = SharedSegment(name=name, array=array)
+        self._segments[name] = segment
+        return segment
+
+    def allocate_from(self, name: str, initial: np.ndarray) -> SharedSegment:
+        """Allocate a segment initialised from an existing array (copied)."""
+        if name in self._segments:
+            raise SharedMemoryError(f"shared segment already exists: {name!r}")
+        segment = SharedSegment(name=name, array=np.array(initial, dtype=np.float64, copy=True))
+        self._segments[name] = segment
+        return segment
+
+    def attach(self, name: str) -> SharedSegment:
+        """Attach to an existing segment."""
+        try:
+            return self._segments[name]
+        except KeyError:
+            raise SharedMemoryError(f"no shared segment named {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._segments
+
+    def free(self, name: str) -> None:
+        """Free a segment; freeing a missing segment is an error."""
+        if name not in self._segments:
+            raise SharedMemoryError(f"no shared segment named {name!r}")
+        del self._segments[name]
+
+    def free_all(self) -> None:
+        self._segments.clear()
+
+    def names(self) -> list[str]:
+        return sorted(self._segments)
+
+    def total_bytes(self) -> int:
+        return sum(segment.array.nbytes for segment in self._segments.values())

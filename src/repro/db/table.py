@@ -1,0 +1,181 @@
+"""In-memory heap tables with page-structured storage.
+
+Tables store rows in fixed-size *pages* (lists of value tuples), mimicking the
+heap-file organisation of a disk-based RDBMS.  The page structure matters for
+the Bismarck reproduction because the paper's data-ordering study is about the
+physical order rows are returned by a sequential scan: :meth:`Table.cluster_by`
+re-orders the heap like a ``CLUSTER`` command, and :meth:`Table.shuffle` is the
+physical analogue of ``CREATE TABLE shuffled AS SELECT * FROM t ORDER BY
+RANDOM()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .errors import SchemaError
+from .types import Row, Schema
+
+DEFAULT_PAGE_SIZE = 256
+
+
+class Table:
+    """An append-only in-memory heap table."""
+
+    def __init__(self, name: str, schema: Schema, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size <= 0:
+            raise SchemaError("page_size must be positive")
+        self.name = name
+        self.schema = schema
+        self.page_size = page_size
+        self._pages: list[list[tuple]] = []
+        self._num_rows = 0
+        # Statistics mimicking a system catalog: number of scans and the last
+        # clustering key, useful for tests and the experiment harness.
+        self.scan_count = 0
+        self.clustered_on: str | None = None
+
+    # ------------------------------------------------------------------ write
+    def insert(self, values: Sequence[Any] | Mapping[str, Any]) -> None:
+        """Insert one row, coercing values to the schema's types."""
+        row = self.schema.coerce_row(values)
+        if not self._pages or len(self._pages[-1]) >= self.page_size:
+            self._pages.append([])
+        self._pages[-1].append(row)
+        self._num_rows += 1
+        self.clustered_on = None
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def truncate(self) -> None:
+        """Remove all rows."""
+        self._pages = []
+        self._num_rows = 0
+        self.clustered_on = None
+
+    # ------------------------------------------------------------------- read
+    def __len__(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def scan(self) -> Iterator[Row]:
+        """Yield rows in physical (heap) order."""
+        self.scan_count += 1
+        schema = self.schema
+        for page in self._pages:
+            for values in page:
+                yield Row(schema, values)
+
+    def scan_values(self) -> Iterator[tuple]:
+        """Yield raw value tuples in physical order (no Row wrapper)."""
+        self.scan_count += 1
+        for page in self._pages:
+            yield from page
+
+    def row_at(self, index: int) -> Row:
+        """Random access by row ordinal (0-based, physical order)."""
+        if index < 0:
+            index += self._num_rows
+        if not 0 <= index < self._num_rows:
+            raise IndexError(f"row index {index} out of range for {self._num_rows} rows")
+        page, offset = divmod(index, self.page_size)
+        # Pages are only ever partially filled at the tail, so divmod against
+        # the nominal page size is valid except when earlier pages were split;
+        # we never split pages, so this holds.
+        return Row(self.schema, self._pages[page][offset])
+
+    def column_values(self, column: str) -> list:
+        """Materialise a single column in physical order."""
+        index = self.schema.index_of(column)
+        return [values[index] for page in self._pages for values in page]
+
+    def to_rows(self) -> list[Row]:
+        """Materialise all rows (physical order)."""
+        schema = self.schema
+        return [Row(schema, values) for page in self._pages for values in page]
+
+    # ------------------------------------------------------- physical reorder
+    def _replace_all(self, value_tuples: list[tuple]) -> None:
+        pages: list[list[tuple]] = []
+        for start in range(0, len(value_tuples), self.page_size):
+            pages.append(list(value_tuples[start:start + self.page_size]))
+        self._pages = pages
+        self._num_rows = len(value_tuples)
+
+    def cluster_by(self, column: str, *, descending: bool = False) -> None:
+        """Physically re-order the heap by a column (like SQL ``CLUSTER``)."""
+        index = self.schema.index_of(column)
+        all_rows = [values for page in self._pages for values in page]
+        all_rows.sort(key=lambda values: values[index], reverse=descending)
+        self._replace_all(all_rows)
+        self.clustered_on = column
+
+    def cluster_by_key(self, key: Callable[[Row], Any], *, label: str = "<callable>") -> None:
+        """Physically re-order the heap using an arbitrary key function."""
+        schema = self.schema
+        all_rows = [values for page in self._pages for values in page]
+        all_rows.sort(key=lambda values: key(Row(schema, values)))
+        self._replace_all(all_rows)
+        self.clustered_on = label
+
+    def shuffle(self, rng: np.random.Generator | None = None, seed: int | None = None) -> None:
+        """Physically shuffle the heap (``ORDER BY RANDOM()`` materialised).
+
+        This deliberately touches every row: the wall-clock cost of this call
+        is exactly the "shuffle overhead" the paper's ShuffleOnce /
+        ShuffleAlways comparison is about.
+        """
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        all_rows = [values for page in self._pages for values in page]
+        permutation = rng.permutation(len(all_rows))
+        self._replace_all([all_rows[i] for i in permutation])
+        self.clustered_on = None
+
+    def copy(self, name: str | None = None) -> "Table":
+        """Deep-enough copy of the table (rows are immutable tuples)."""
+        clone = Table(name or self.name, self.schema, page_size=self.page_size)
+        clone._pages = [list(page) for page in self._pages]
+        clone._num_rows = self._num_rows
+        clone.clustered_on = self.clustered_on
+        return clone
+
+    # ------------------------------------------------------------ partitioning
+    def partition(self, num_segments: int) -> list["Table"]:
+        """Round-robin partition into ``num_segments`` segment tables.
+
+        Mirrors how a shared-nothing parallel database (the paper's "DBMS B")
+        distributes a heap across segments.
+        """
+        if num_segments <= 0:
+            raise SchemaError("num_segments must be positive")
+        segments = [
+            Table(f"{self.name}__seg{i}", self.schema, page_size=self.page_size)
+            for i in range(num_segments)
+        ]
+        for ordinal, values in enumerate(
+            values for page in self._pages for values in page
+        ):
+            segment = segments[ordinal % num_segments]
+            if not segment._pages or len(segment._pages[-1]) >= segment.page_size:
+                segment._pages.append([])
+            segment._pages[-1].append(values)
+            segment._num_rows += 1
+        return segments
+
+    def __repr__(self) -> str:
+        return (
+            f"Table(name={self.name!r}, rows={self._num_rows}, "
+            f"pages={self.num_pages}, columns={list(self.schema.column_names)})"
+        )

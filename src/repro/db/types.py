@@ -1,0 +1,270 @@
+"""Column types, schemas and row representation for the RDBMS substrate.
+
+The substrate supports the small set of types the Bismarck workloads need:
+integers, floats, text, booleans, dense float arrays (feature vectors) and
+sparse maps (feature index -> value).  Schemas validate and coerce inserted
+values so downstream code can rely on consistent Python/numpy types.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import SchemaError, TypeMismatchError, UnknownColumnError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the substrate."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    FLOAT_ARRAY = "float_array"
+    SPARSE_VECTOR = "sparse_vector"
+    ANY = "any"
+
+    @classmethod
+    def from_string(cls, name: str) -> "ColumnType":
+        """Resolve a SQL-ish type name (e.g. ``INT``, ``FLOAT8[]``) to a type."""
+        normalized = name.strip().lower()
+        aliases = {
+            "int": cls.INTEGER,
+            "integer": cls.INTEGER,
+            "bigint": cls.INTEGER,
+            "smallint": cls.INTEGER,
+            "serial": cls.INTEGER,
+            "float": cls.FLOAT,
+            "float8": cls.FLOAT,
+            "real": cls.FLOAT,
+            "double": cls.FLOAT,
+            "double precision": cls.FLOAT,
+            "numeric": cls.FLOAT,
+            "text": cls.TEXT,
+            "varchar": cls.TEXT,
+            "char": cls.TEXT,
+            "string": cls.TEXT,
+            "bool": cls.BOOLEAN,
+            "boolean": cls.BOOLEAN,
+            "float[]": cls.FLOAT_ARRAY,
+            "float8[]": cls.FLOAT_ARRAY,
+            "real[]": cls.FLOAT_ARRAY,
+            "double[]": cls.FLOAT_ARRAY,
+            "array": cls.FLOAT_ARRAY,
+            "float_array": cls.FLOAT_ARRAY,
+            "sparse": cls.SPARSE_VECTOR,
+            "sparse_vector": cls.SPARSE_VECTOR,
+            "svec": cls.SPARSE_VECTOR,
+            "any": cls.ANY,
+        }
+        if normalized in aliases:
+            return aliases[normalized]
+        raise SchemaError(f"unknown column type: {name!r}")
+
+
+def coerce_value(value: Any, column_type: ColumnType, *, nullable: bool = True) -> Any:
+    """Coerce ``value`` into the canonical Python representation of a type.
+
+    Raises :class:`TypeMismatchError` if coercion is impossible and
+    :class:`SchemaError` if a NULL is inserted into a non-nullable column.
+    """
+    if value is None:
+        if not nullable:
+            raise SchemaError("NULL value in non-nullable column")
+        return None
+
+    if column_type is ColumnType.ANY:
+        return value
+
+    try:
+        if column_type is ColumnType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, (int, np.integer)):
+                return int(value)
+            if isinstance(value, (float, np.floating)) and float(value).is_integer():
+                return int(value)
+            if isinstance(value, str):
+                return int(value)
+            raise TypeMismatchError(f"cannot coerce {value!r} to INTEGER")
+        if column_type is ColumnType.FLOAT:
+            if isinstance(value, (int, float, np.integer, np.floating)):
+                return float(value)
+            if isinstance(value, str):
+                return float(value)
+            raise TypeMismatchError(f"cannot coerce {value!r} to FLOAT")
+        if column_type is ColumnType.TEXT:
+            if isinstance(value, str):
+                return value
+            return str(value)
+        if column_type is ColumnType.BOOLEAN:
+            if isinstance(value, (bool, np.bool_)):
+                return bool(value)
+            if isinstance(value, (int, np.integer)) and value in (0, 1):
+                return bool(value)
+            if isinstance(value, str) and value.lower() in ("true", "false", "t", "f"):
+                return value.lower() in ("true", "t")
+            raise TypeMismatchError(f"cannot coerce {value!r} to BOOLEAN")
+        if column_type is ColumnType.FLOAT_ARRAY:
+            if isinstance(value, np.ndarray):
+                return np.asarray(value, dtype=np.float64)
+            if isinstance(value, (list, tuple)):
+                return np.asarray(value, dtype=np.float64)
+            raise TypeMismatchError(f"cannot coerce {value!r} to FLOAT_ARRAY")
+        if column_type is ColumnType.SPARSE_VECTOR:
+            if isinstance(value, Mapping):
+                return {int(k): float(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)) and all(
+                isinstance(item, (list, tuple)) and len(item) == 2 for item in value
+            ):
+                return {int(k): float(v) for k, v in value}
+            raise TypeMismatchError(f"cannot coerce {value!r} to SPARSE_VECTOR")
+    except (ValueError, TypeError) as exc:
+        raise TypeMismatchError(
+            f"cannot coerce {value!r} to {column_type.value}: {exc}"
+        ) from exc
+
+    raise TypeMismatchError(f"unsupported column type {column_type!r}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce a raw value into this column's canonical representation."""
+        return coerce_value(value, self.type, nullable=self.nullable)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns describing a table."""
+
+    columns: tuple[Column, ...]
+    _index: dict = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        object.__setattr__(
+            self, "_index", {column.name: i for i, column in enumerate(self.columns)}
+        )
+
+    @classmethod
+    def of(cls, *specs: tuple[str, ColumnType] | Column) -> "Schema":
+        """Build a schema from ``(name, type)`` pairs or :class:`Column` objects."""
+        columns = []
+        for spec in specs:
+            if isinstance(spec, Column):
+                columns.append(spec)
+            else:
+                name, column_type = spec
+                if isinstance(column_type, str):
+                    column_type = ColumnType.from_string(column_type)
+                columns.append(Column(name, column_type))
+        return cls(tuple(columns))
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        try:
+            return self.columns[self._index[name]]
+        except KeyError:
+            raise UnknownColumnError(name) from None
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of a column."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownColumnError(name) from None
+
+    def coerce_row(self, values: Sequence[Any] | Mapping[str, Any]) -> tuple:
+        """Coerce a row (sequence or mapping) into a canonical value tuple."""
+        if isinstance(values, Mapping):
+            missing = [c.name for c in self.columns if c.name not in values and not c.nullable]
+            if missing:
+                raise SchemaError(f"missing values for non-nullable columns: {missing}")
+            ordered = [values.get(column.name) for column in self.columns]
+        else:
+            ordered = list(values)
+            if len(ordered) != len(self.columns):
+                raise SchemaError(
+                    f"row has {len(ordered)} values but schema has {len(self.columns)} columns"
+                )
+        return tuple(
+            column.coerce(value) for column, value in zip(self.columns, ordered)
+        )
+
+
+class Row:
+    """A lightweight read-only view of one table row.
+
+    Rows support both positional and by-name access, which keeps the executor
+    fast (tuples underneath) while letting UDAs and expressions address columns
+    by name.
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: Schema, values: tuple):
+        self._schema = schema
+        self._values = values
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def values(self) -> tuple:
+        return self._values
+
+    def __getitem__(self, key: str | int) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        return self._values[self._schema.index_of(key)]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if key in self._schema:
+            return self[key]
+        return default
+
+    def as_dict(self) -> dict:
+        return dict(zip(self._schema.column_names, self._values))
+
+    def __iter__(self) -> Iterable[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{name}={value!r}" for name, value in zip(self._schema.column_names, self._values)
+        )
+        return f"Row({pairs})"

@@ -1,0 +1,93 @@
+"""Experiment E1 — Table 1: dataset statistics.
+
+Builds the reproduction's benchmark datasets (the laptop-scale analogues of
+Forest, DBLife, MovieLens, CoNLL, Classify300M, Matrix5B and DBLP) and reports
+their statistics in the layout of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data import (
+    classification_statistics,
+    make_dense_classification,
+    make_large_ratings,
+    make_large_sequences,
+    make_ratings,
+    make_scalability_classification,
+    make_sequences,
+    make_sparse_classification,
+    ratings_statistics,
+    sequence_statistics,
+)
+from ..data.statistics import DatasetStatistics
+from .harness import ExperimentScale, resolve_scale
+from .reporting import render_table
+
+
+@dataclass
+class DatasetsTableResult:
+    """All dataset-statistics rows (Table 1)."""
+
+    rows: list[DatasetStatistics]
+
+    def render(self) -> str:
+        return render_table(
+            ["Dataset", "Dimension", "# Examples", "Size", "Format"],
+            [row.as_row() for row in self.rows],
+            title="Table 1 (reproduction): dataset statistics",
+        )
+
+    def by_name(self, name: str) -> DatasetStatistics:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(f"no dataset named {name!r}")
+
+
+def build_benchmark_datasets(scale: ExperimentScale | str | None = None) -> dict:
+    """Construct every benchmark dataset used by the experiment suite."""
+    scale = resolve_scale(scale)
+    return {
+        "forest_like": make_dense_classification(
+            scale.dense_examples, scale.dense_dimension, seed=0
+        ),
+        "dblife_like": make_sparse_classification(
+            scale.sparse_examples,
+            scale.sparse_dimension,
+            nonzeros_per_example=scale.sparse_nonzeros,
+            seed=1,
+        ),
+        "movielens_like": make_ratings(
+            scale.rating_rows, scale.rating_cols, scale.num_ratings, rank=5, seed=2
+        ),
+        "conll_like": make_sequences(
+            scale.num_sequences, num_labels=scale.sequence_labels, seed=3
+        ),
+        "classify_large": make_scalability_classification(scale.scalability_examples, seed=4),
+        "matrix_large": make_large_ratings(
+            num_rows=max(200, scale.rating_rows * 4),
+            num_cols=max(200, scale.rating_cols * 4),
+            num_ratings=scale.num_ratings * 4,
+            seed=5,
+        ),
+        "dblp_like": make_large_sequences(
+            num_sequences=scale.num_sequences * 3, num_labels=scale.sequence_labels + 1, seed=6
+        ),
+    }
+
+
+def run_datasets_table(scale: ExperimentScale | str | None = None) -> DatasetsTableResult:
+    """Regenerate Table 1 for the reproduction's datasets."""
+    datasets = build_benchmark_datasets(scale)
+    rows = [
+        classification_statistics(datasets["forest_like"]),
+        classification_statistics(datasets["dblife_like"]),
+        ratings_statistics(datasets["movielens_like"]),
+        sequence_statistics(datasets["conll_like"]),
+        classification_statistics(datasets["classify_large"]),
+        ratings_statistics(datasets["matrix_large"]),
+        sequence_statistics(datasets["dblp_like"]),
+    ]
+    return DatasetsTableResult(rows=rows)

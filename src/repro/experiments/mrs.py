@@ -1,0 +1,194 @@
+"""Experiments E11/E12 — Figure 10: multiplexed reservoir sampling.
+
+Figure 10(A): objective vs. epochs for Subsampling, Clustered (no shuffle) and
+MRS on the sparse LR workload, with a buffer sized at ~10% of the dataset.
+
+Figure 10(B): for several buffer sizes, the time (and number of epochs) each
+sampling scheme needs to reach 2x the optimal objective value.  Expected
+shape: MRS reaches the target faster than Subsampling at every buffer size,
+and both schemes improve as the buffer grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.proximal import L2Proximal
+from ..core.sampling import (
+    run_clustered_no_shuffle,
+    run_multiplexed_reservoir_sampling,
+    run_subsampling,
+)
+from ..data import make_sparse_classification
+from ..tasks.logistic_regression import LogisticRegressionTask
+from .harness import ExperimentScale, resolve_scale
+from .reporting import render_series, render_table
+
+
+@dataclass
+class MRSConvergenceResult:
+    """Figure 10(A): objective traces of the three schemes."""
+
+    traces: dict[str, list[float]] = field(default_factory=dict)
+    buffer_size: int = 0
+    dataset_size: int = 0
+
+    def render(self) -> str:
+        lines = [
+            "Figure 10A (reproduction): MRS vs Subsampling vs Clustered "
+            f"(buffer {self.buffer_size} of {self.dataset_size} tuples)"
+        ]
+        for scheme, trace in self.traces.items():
+            lines.append(render_series(scheme, list(range(1, len(trace) + 1)), trace))
+        return "\n".join(lines)
+
+    def final_objective(self, scheme: str) -> float:
+        return self.traces[scheme][-1]
+
+
+def _make_workload(scale: ExperimentScale, seed: int):
+    dataset = make_sparse_classification(
+        scale.sparse_examples,
+        scale.sparse_dimension,
+        nonzeros_per_example=scale.sparse_nonzeros,
+        seed=seed,
+    ).clustered_by_label()
+    # L2-regularised LR: the regulariser keeps the optimum at a quality a
+    # model trained on a without-replacement subsample can also approach,
+    # mirroring the regularised objectives of Figure 1B.
+    task = LogisticRegressionTask(dataset.dimension, proximal=L2Proximal(0.005))
+    return dataset, task
+
+
+def run_mrs_convergence(
+    scale: ExperimentScale | str | None = None,
+    *,
+    buffer_fraction: float = 0.1,
+    epochs: int | None = None,
+    seed: int = 0,
+) -> MRSConvergenceResult:
+    """Regenerate Figure 10(A) on clustered sparse LR data."""
+    scale = resolve_scale(scale)
+    epochs = epochs or max(scale.max_epochs, 10)
+    dataset, task = _make_workload(scale, seed)
+    buffer_size = max(2, int(buffer_fraction * len(dataset)))
+    step_size = {"kind": "epoch_decay", "alpha0": 0.05, "decay": 0.92}
+
+    subsampling = run_subsampling(
+        dataset.examples, task, buffer_size=buffer_size, step_size=step_size,
+        epochs=epochs, seed=seed,
+    )
+    clustered = run_clustered_no_shuffle(
+        dataset.examples, task, step_size=step_size, epochs=epochs, seed=seed
+    )
+    mrs = run_multiplexed_reservoir_sampling(
+        dataset.examples, task, buffer_size=buffer_size, step_size=step_size,
+        epochs=epochs, seed=seed,
+    )
+    return MRSConvergenceResult(
+        traces={
+            "subsampling": subsampling.objective_trace(),
+            "clustered": clustered.objective_trace(),
+            "mrs": mrs.objective_trace(),
+        },
+        buffer_size=buffer_size,
+        dataset_size=len(dataset),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10(B): sensitivity to the buffer size
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BufferSizeRow:
+    """Time/epochs to reach 2x the optimal objective for one scheme and buffer."""
+
+    buffer_size: int
+    scheme: str
+    seconds_to_target: float | None
+    epochs_to_target: int | None
+
+    def as_row(self) -> tuple:
+        return (
+            self.buffer_size,
+            self.scheme,
+            f"{self.seconds_to_target:.3f}s" if self.seconds_to_target is not None else "-",
+            self.epochs_to_target if self.epochs_to_target is not None else "-",
+        )
+
+
+@dataclass
+class BufferSizeResult:
+    """Figure 10(B): rows for every (buffer size, scheme) combination."""
+
+    rows: list[BufferSizeRow] = field(default_factory=list)
+    target_objective: float = float("nan")
+
+    def render(self) -> str:
+        return render_table(
+            ["Buffer", "Scheme", "Time to 2x opt", "Epochs"],
+            [row.as_row() for row in self.rows],
+            title="Figure 10B (reproduction): runtime to reach 2x optimal objective",
+        )
+
+    def row_for(self, buffer_size: int, scheme: str) -> BufferSizeRow:
+        for row in self.rows:
+            if row.buffer_size == buffer_size and row.scheme == scheme:
+                return row
+        raise KeyError(f"no row for buffer {buffer_size} scheme {scheme!r}")
+
+
+def run_buffer_size_experiment(
+    scale: ExperimentScale | str | None = None,
+    *,
+    buffer_fractions: tuple[float, ...] = (0.05, 0.1, 0.2),
+    epochs: int | None = None,
+    seed: int = 0,
+) -> BufferSizeResult:
+    """Regenerate Figure 10(B): time to reach 2x the optimal objective vs buffer size."""
+    scale = resolve_scale(scale)
+    epochs = epochs or max(scale.max_epochs, 12)
+    dataset, task = _make_workload(scale, seed)
+    step_size = {"kind": "epoch_decay", "alpha0": 0.05, "decay": 0.92}
+
+    # Estimate the optimal objective with a generous shuffled IGD run.
+    reference = run_clustered_no_shuffle(
+        list(np.random.default_rng(seed).permutation(np.array(dataset.examples, dtype=object))),
+        task,
+        step_size=step_size,
+        epochs=epochs * 2,
+        seed=seed,
+    )
+    optimum = min(reference.objective_trace())
+    target = 2.0 * optimum
+
+    result = BufferSizeResult(target_objective=target)
+    for fraction in buffer_fractions:
+        buffer_size = max(2, int(fraction * len(dataset)))
+        subsampling = run_subsampling(
+            dataset.examples, task, buffer_size=buffer_size, step_size=step_size,
+            epochs=epochs, seed=seed,
+        )
+        mrs = run_multiplexed_reservoir_sampling(
+            dataset.examples, task, buffer_size=buffer_size, step_size=step_size,
+            epochs=epochs, seed=seed,
+        )
+        for scheme, run in (("subsampling", subsampling), ("mrs", mrs)):
+            seconds = None
+            cumulative = 0.0
+            for record in run.history:
+                cumulative += record.elapsed_seconds
+                if record.objective <= target:
+                    seconds = cumulative
+                    break
+            result.rows.append(
+                BufferSizeRow(
+                    buffer_size=buffer_size,
+                    scheme=scheme,
+                    seconds_to_target=seconds,
+                    epochs_to_target=run.epochs_to_reach(target),
+                )
+            )
+    return result

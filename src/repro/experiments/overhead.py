@@ -1,0 +1,201 @@
+"""Experiments E2/E3 — Tables 2 and 3: runtime overhead vs the NULL aggregate.
+
+The paper measures, for every engine and task, the single-iteration (one
+epoch) runtime of the Bismarck aggregate against a strawman "NULL" aggregate
+that scans the same tuples but computes nothing.  Table 2 uses the pure-UDA
+implementation, Table 3 the shared-memory UDA.
+
+We reproduce the measurement on the substrate's three engine personalities
+(postgres, dbms_a, dbms_b-with-8-segments) over the dense (Forest-like),
+sparse (DBLife-like) and ratings (MovieLens-like) datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.parallel import SharedMemoryParallelism, run_shared_memory_epoch
+from ..core.uda import IGDAggregate
+from ..db.aggregates import NullAggregate
+from ..db.engine import Database
+from ..db.parallel import SegmentedDatabase
+from ..data import (
+    load_classification_table,
+    load_ratings_table,
+    make_dense_classification,
+    make_ratings,
+    make_sparse_classification,
+)
+from ..tasks.logistic_regression import LogisticRegressionTask
+from ..tasks.matrix_factorization import LowRankMatrixFactorizationTask
+from ..tasks.svm import SVMTask
+from .harness import ExperimentScale, overhead_percent, resolve_scale, time_callable
+from .reporting import render_table
+
+ENGINES = ("postgres", "dbms_a", "dbms_b")
+DBMS_B_SEGMENTS = 8
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One (engine, dataset, task) measurement."""
+
+    engine: str
+    dataset: str
+    task: str
+    null_seconds: float
+    task_seconds: float
+
+    @property
+    def overhead_pct(self) -> float:
+        return overhead_percent(self.null_seconds, self.task_seconds)
+
+    def as_row(self) -> tuple:
+        return (
+            self.engine,
+            self.dataset,
+            self.task,
+            f"{self.null_seconds * 1000:.2f}ms",
+            f"{self.task_seconds * 1000:.2f}ms",
+            f"{self.overhead_pct:.1f}%",
+        )
+
+
+@dataclass
+class OverheadTableResult:
+    """All rows of a Table-2/Table-3 style overhead table."""
+
+    variant: str
+    rows: list[OverheadRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        title = (
+            "Table 2 (reproduction): pure-UDA single-iteration overhead vs NULL aggregate"
+            if self.variant == "pure_uda"
+            else "Table 3 (reproduction): shared-memory UDA single-iteration overhead vs NULL aggregate"
+        )
+        return render_table(
+            ["Engine", "Dataset", "Task", "NULL time", "Runtime", "Overhead"],
+            [row.as_row() for row in self.rows],
+            title=title,
+        )
+
+    def rows_for(self, engine: str | None = None, task: str | None = None) -> list[OverheadRow]:
+        selected = self.rows
+        if engine is not None:
+            selected = [row for row in selected if row.engine == engine]
+        if task is not None:
+            selected = [row for row in selected if row.task == task]
+        return selected
+
+    def max_overhead_pct(self) -> float:
+        return max(row.overhead_pct for row in self.rows)
+
+
+def _build_engine(engine: str, seed: int = 0):
+    if engine == "dbms_b":
+        return SegmentedDatabase(DBMS_B_SEGMENTS, "dbms_b", seed=seed)
+    return Database(engine, seed=seed)
+
+
+def _load_workloads(database, scale: ExperimentScale) -> dict:
+    dense = make_dense_classification(scale.dense_examples, scale.dense_dimension, seed=0)
+    sparse = make_sparse_classification(
+        scale.sparse_examples,
+        scale.sparse_dimension,
+        nonzeros_per_example=scale.sparse_nonzeros,
+        seed=1,
+    )
+    ratings = make_ratings(scale.rating_rows, scale.rating_cols, scale.num_ratings, rank=5, seed=2)
+    load_classification_table(database, "forest_like", dense.examples, sparse=False, replace=True)
+    load_classification_table(database, "dblife_like", sparse.examples, sparse=True, replace=True)
+    load_ratings_table(database, "movielens_like", ratings.examples, replace=True)
+    return {
+        "forest_like": ("dense", dense),
+        "dblife_like": ("sparse", sparse),
+        "movielens_like": ("ratings", ratings),
+    }
+
+
+def _tasks_for(dataset_name: str, kind, payload, scale: ExperimentScale) -> list:
+    if dataset_name == "movielens_like":
+        return [
+            (
+                "LMF",
+                LowRankMatrixFactorizationTask(
+                    payload.num_rows, payload.num_cols, rank=5, mu=0.01
+                ),
+            )
+        ]
+    dimension = payload.dimension
+    return [("LR", LogisticRegressionTask(dimension)), ("SVM", SVMTask(dimension))]
+
+
+def _run_null_epoch(database, table_name: str) -> None:
+    if isinstance(database, SegmentedDatabase):
+        database.run_parallel_aggregate(table_name, NullAggregate)
+    else:
+        database.run_aggregate(table_name, NullAggregate())
+
+
+def _run_pure_uda_epoch(database, table_name: str, task) -> None:
+    def factory():
+        return IGDAggregate(task, 0.05)
+
+    if isinstance(database, SegmentedDatabase):
+        database.run_parallel_aggregate(table_name, factory)
+    else:
+        database.run_aggregate(table_name, factory())
+
+
+def _run_shared_memory_epoch(database, table_name: str, task) -> None:
+    engine = database.master if isinstance(database, SegmentedDatabase) else database
+    table = engine.table(table_name)
+    model = task.initial_model()
+    spec = SharedMemoryParallelism(
+        scheme="nolock",
+        workers=DBMS_B_SEGMENTS if isinstance(database, SegmentedDatabase) else 2,
+    )
+    run_shared_memory_epoch(
+        table, task, model, 0.05, spec=spec, charge_per_tuple=engine.executor._charge_overhead
+    )
+
+
+def run_overhead_table(
+    variant: str = "pure_uda",
+    scale: ExperimentScale | str | None = None,
+    *,
+    engines: tuple[str, ...] = ENGINES,
+    repeats: int = 2,
+) -> OverheadTableResult:
+    """Regenerate Table 2 (``variant='pure_uda'``) or Table 3 (``'shared_memory'``)."""
+    if variant not in ("pure_uda", "shared_memory"):
+        raise ValueError("variant must be 'pure_uda' or 'shared_memory'")
+    scale = resolve_scale(scale)
+    result = OverheadTableResult(variant=variant)
+
+    for engine in engines:
+        database = _build_engine(engine)
+        workloads = _load_workloads(database, scale)
+        for dataset_name, (kind, payload) in workloads.items():
+            null_sample = time_callable(
+                lambda: _run_null_epoch(database, dataset_name),
+                repeats=repeats,
+                label="null",
+            )
+            for task_name, task in _tasks_for(dataset_name, kind, payload, scale):
+                if variant == "pure_uda":
+                    runner = lambda: _run_pure_uda_epoch(database, dataset_name, task)
+                else:
+                    runner = lambda: _run_shared_memory_epoch(database, dataset_name, task)
+                task_sample = time_callable(runner, repeats=repeats, label=task_name)
+                result.rows.append(
+                    OverheadRow(
+                        engine=engine,
+                        dataset=dataset_name,
+                        task=task_name,
+                        null_seconds=null_sample.mean,
+                        task_seconds=task_sample.mean,
+                    )
+                )
+    return result

@@ -1,0 +1,179 @@
+"""Experiments E9/E10 — Figure 9: parallelising the IGD aggregate.
+
+Figure 9(A): objective vs. epochs for the pure-UDA (model-averaging) scheme
+against the shared-memory schemes (Lock, AIG, NoLock) on the CRF workload with
+8 workers/segments.  The expected shape: model averaging converges worse per
+epoch; Lock, AIG and NoLock are nearly identical.
+
+Figure 9(B): speed-up of the per-epoch gradient computation against the
+number of workers.  The serial per-epoch time is measured on the substrate;
+the parallel times come from the calibrated cost model in
+:func:`repro.core.parallel.modeled_speedup` (this substitution is documented
+in DESIGN.md / EXPERIMENTS.md — single-process Python cannot exhibit real
+multicore scaling).  Expected shape: NoLock >= AIG >> pure UDA > Lock (~1x).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.driver import IGDConfig, train
+from ..core.parallel import PureUDAParallelism, SharedMemoryParallelism, modeled_speedup
+from ..db.engine import DBMS_B, Database
+from ..db.parallel import SegmentedDatabase
+from ..data import load_sequences_table, make_sequences
+from ..tasks.crf import ConditionalRandomFieldTask
+from .harness import ExperimentScale, resolve_scale
+from .reporting import render_series, render_table
+
+SCHEMES = ("pure_uda", "lock", "aig", "nolock")
+
+
+@dataclass
+class ParallelConvergenceResult:
+    """Figure 9(A): per-scheme objective traces."""
+
+    traces: dict[str, list[float]] = field(default_factory=dict)
+    workers: int = 8
+
+    def render(self) -> str:
+        lines = [f"Figure 9A (reproduction): parallel IGD convergence ({self.workers} workers)"]
+        for scheme, trace in self.traces.items():
+            lines.append(render_series(scheme, list(range(1, len(trace) + 1)), trace))
+        return "\n".join(lines)
+
+    def final_objective(self, scheme: str) -> float:
+        return self.traces[scheme][-1]
+
+
+def run_parallel_convergence(
+    scale: ExperimentScale | str | None = None,
+    *,
+    workers: int = 8,
+    max_epochs: int | None = None,
+) -> ParallelConvergenceResult:
+    """Regenerate Figure 9(A) on the CRF (CoNLL-like) workload."""
+    scale = resolve_scale(scale)
+    epochs = max_epochs or max(6, scale.max_epochs // 2)
+    corpus = make_sequences(scale.num_sequences, num_labels=scale.sequence_labels, seed=5)
+    step_size = {"kind": "epoch_decay", "alpha0": 0.2, "decay": 0.9}
+
+    result = ParallelConvergenceResult(workers=workers)
+
+    # Pure UDA: shared-nothing segments merged by model averaging.
+    segmented = SegmentedDatabase(workers, DBMS_B, seed=0)
+    load_sequences_table(segmented, "conll_like", corpus.examples)
+    task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+    pure = train(
+        task,
+        segmented,
+        "conll_like",
+        config=IGDConfig(
+            step_size=step_size,
+            max_epochs=epochs,
+            ordering="shuffle_once",
+            parallelism=PureUDAParallelism(),
+            seed=0,
+        ),
+    )
+    result.traces["pure_uda"] = pure.objective_trace()
+
+    # Shared-memory variants.
+    for scheme in ("lock", "aig", "nolock"):
+        database = Database("postgres", seed=0)
+        load_sequences_table(database, "conll_like", corpus.examples)
+        run = train(
+            ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels),
+            database,
+            "conll_like",
+            config=IGDConfig(
+                step_size=step_size,
+                max_epochs=epochs,
+                ordering="shuffle_once",
+                parallelism=SharedMemoryParallelism(scheme=scheme, workers=workers),
+                seed=0,
+            ),
+        )
+        result.traces[scheme] = run.objective_trace()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9(B): speed-up vs number of workers
+# ---------------------------------------------------------------------------
+@dataclass
+class SpeedupResult:
+    """Figure 9(B): modelled speed-up per scheme and worker count."""
+
+    serial_epoch_seconds: float
+    worker_counts: list[int] = field(default_factory=list)
+    speedups: dict[str, list[float]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        headers = ["Workers"] + list(self.speedups)
+        rows = []
+        for i, workers in enumerate(self.worker_counts):
+            rows.append(
+                [workers] + [f"{self.speedups[s][i]:.2f}x" for s in self.speedups]
+            )
+        return render_table(
+            headers,
+            rows,
+            title=(
+                "Figure 9B (reproduction): per-epoch speed-up vs workers "
+                f"(serial epoch = {self.serial_epoch_seconds:.3f}s)"
+            ),
+        )
+
+    def speedup(self, scheme: str, workers: int) -> float:
+        index = self.worker_counts.index(workers)
+        return self.speedups[scheme][index]
+
+
+def run_speedup_experiment(
+    scale: ExperimentScale | str | None = None,
+    *,
+    max_workers: int = 8,
+    model_passing_cost: float = 5.0,
+) -> SpeedupResult:
+    """Regenerate Figure 9(B).
+
+    The serial per-epoch gradient time is measured by running one real epoch of
+    the CRF task on the substrate; the per-scheme parallel times come from the
+    calibrated analytic model (see module docstring).
+    """
+    scale = resolve_scale(scale)
+    corpus = make_sequences(scale.num_sequences, num_labels=scale.sequence_labels, seed=5)
+    database = Database("postgres", seed=0)
+    load_sequences_table(database, "conll_like", corpus.examples)
+    task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+
+    start = time.perf_counter()
+    train(
+        task,
+        database,
+        "conll_like",
+        config=IGDConfig(
+            step_size=0.2, max_epochs=1, ordering="clustered", seed=0, compute_objective=False
+        ),
+    )
+    serial_seconds = time.perf_counter() - start
+
+    model_parameters = task.initial_model().num_parameters
+    result = SpeedupResult(serial_epoch_seconds=serial_seconds)
+    result.worker_counts = list(range(1, max_workers + 1))
+    for scheme in SCHEMES:
+        result.speedups[scheme] = [
+            modeled_speedup(
+                serial_seconds,
+                scheme,
+                workers,
+                model_passing_cost=model_passing_cost,
+                model_parameters=model_parameters,
+            )
+            for workers in result.worker_counts
+        ]
+    return result

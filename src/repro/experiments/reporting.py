@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment results (the tables/figures as text)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = "") -> str:
+    """Render a simple fixed-width text table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in columns]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(columns))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[object], ys: Sequence[object], *, max_points: int = 12) -> str:
+    """Render a (down-sampled) x/y series as text, for figure-style outputs."""
+    pairs = list(zip(xs, ys))
+    if len(pairs) > max_points:
+        stride = max(1, len(pairs) // max_points)
+        pairs = pairs[::stride] + [pairs[-1]]
+    body = ", ".join(f"({_format_cell(x)}, {_format_cell(y)})" for x, y in pairs)
+    return f"{name}: {body}"
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)

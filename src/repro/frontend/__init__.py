@@ -1,0 +1,13 @@
+"""MADlib-mimicking SQL front end: SVMTrain / LRTrain / ... and predictors."""
+
+from .models import load_model, model_exists, save_model
+from .predict import install_prediction_functions
+from .train import install_frontend
+
+__all__ = [
+    "install_frontend",
+    "install_prediction_functions",
+    "load_model",
+    "model_exists",
+    "save_model",
+]

@@ -1,0 +1,68 @@
+"""Persisted model tables: save and load trained models as relations.
+
+Following Section 2.1 of the paper, a trained model "is then persisted as a
+user table" named by the caller (e.g. ``myModel``).  We store every model as a
+generic long-format relation ``(component, idx, value)`` where ``idx`` is the
+flattened index inside the component array, plus a companion ``<name>_meta``
+table describing component shapes so the model can be reconstructed exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import Model
+from ..db.engine import Database
+from ..db.parallel import SegmentedDatabase
+from ..db.types import ColumnType
+
+DatabaseLike = "Database | SegmentedDatabase"
+
+
+def _catalog(database) -> Database:
+    return database.master if isinstance(database, SegmentedDatabase) else database
+
+
+def save_model(database, model_name: str, model: Model) -> None:
+    """Persist a model into ``model_name`` (+ ``model_name_meta``)."""
+    catalog = _catalog(database)
+    for table_name in (model_name, f"{model_name}_meta"):
+        if catalog.has_table(table_name):
+            catalog.drop_table(table_name)
+
+    values_table = catalog.create_table(
+        model_name,
+        [("component", ColumnType.TEXT), ("idx", ColumnType.INTEGER), ("value", ColumnType.FLOAT)],
+    )
+    meta_table = catalog.create_table(
+        f"{model_name}_meta",
+        [("component", ColumnType.TEXT), ("shape", ColumnType.TEXT)],
+    )
+    for component_name, array in model.items():
+        meta_table.insert((component_name, ",".join(str(s) for s in array.shape)))
+        flat = array.ravel()
+        values_table.insert_many(
+            (component_name, int(index), float(value)) for index, value in enumerate(flat)
+        )
+
+
+def load_model(database, model_name: str) -> Model:
+    """Reconstruct a model previously stored by :func:`save_model`."""
+    catalog = _catalog(database)
+    values_table = catalog.table(model_name)
+    meta_table = catalog.table(f"{model_name}_meta")
+
+    shapes: dict[str, tuple[int, ...]] = {}
+    for row in meta_table.scan():
+        shape = tuple(int(part) for part in row["shape"].split(",") if part != "")
+        shapes[row["component"]] = shape or (1,)
+
+    arrays = {name: np.zeros(int(np.prod(shape))) for name, shape in shapes.items()}
+    for row in values_table.scan():
+        arrays[row["component"]][row["idx"]] = row["value"]
+    return Model({name: arrays[name].reshape(shapes[name]) for name in shapes})
+
+
+def model_exists(database, model_name: str) -> bool:
+    catalog = _catalog(database)
+    return catalog.has_table(model_name) and catalog.has_table(f"{model_name}_meta")

@@ -1,0 +1,109 @@
+"""Prediction / scoring SQL functions operating on persisted model tables.
+
+Mirrors the paper's remark that "the model can be applied to new unlabeled
+data to make predictions by using a similar SQL query":
+
+    SELECT LRPredict('myModel', 'NewPapers', 'vec');            -- writes scores
+    SELECT ClassifyAccuracy('myModel', 'LabeledPapers', 'vec', 'label');
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..db.engine import Database
+from ..db.parallel import SegmentedDatabase
+from ..db.types import ColumnType
+from ..tasks.base import SupervisedExample, dot_product
+from ..tasks.logistic_regression import sigmoid
+from .models import load_model
+
+
+def _catalog(database) -> Database:
+    return database.master if isinstance(database, SegmentedDatabase) else database
+
+
+def install_prediction_functions(database: Database | SegmentedDatabase) -> None:
+    """Register prediction and evaluation SQL functions."""
+    catalog = _catalog(database)
+
+    def _decision_values(model_name: str, table_name: str, feature_column: str):
+        model = load_model(database, model_name)
+        weights = model["w"]
+        table = catalog.table(table_name)
+        for row in table.scan():
+            yield row, dot_product(weights, row[feature_column])
+
+    def lr_predict(model_name: str, table_name: str, feature_column: str,
+                   output_table: str = "") -> str:
+        """Score every row with P(label = +1); optionally persist the scores."""
+        scores = [
+            (index, sigmoid(value))
+            for index, (_, value) in enumerate(
+                _decision_values(model_name, table_name, feature_column)
+            )
+        ]
+        if output_table:
+            if catalog.has_table(output_table):
+                catalog.drop_table(output_table)
+            out = catalog.create_table(
+                output_table, [("row_idx", ColumnType.INTEGER), ("score", ColumnType.FLOAT)]
+            )
+            out.insert_many(scores)
+        mean_score = sum(score for _, score in scores) / max(1, len(scores))
+        return f"scored {len(scores)} rows with '{model_name}' (mean p = {mean_score:.4f})"
+
+    def svm_predict(model_name: str, table_name: str, feature_column: str,
+                    output_table: str = "") -> str:
+        """Score every row with the signed decision value w . x."""
+        values = [
+            (index, value)
+            for index, (_, value) in enumerate(
+                _decision_values(model_name, table_name, feature_column)
+            )
+        ]
+        if output_table:
+            if catalog.has_table(output_table):
+                catalog.drop_table(output_table)
+            out = catalog.create_table(
+                output_table, [("row_idx", ColumnType.INTEGER), ("decision", ColumnType.FLOAT)]
+            )
+            out.insert_many(values)
+        positive = sum(1 for _, value in values if value >= 0)
+        return f"scored {len(values)} rows with '{model_name}' ({positive} predicted positive)"
+
+    def classify_accuracy(model_name: str, table_name: str, feature_column: str,
+                          label_column: str) -> float:
+        """Classification accuracy of a persisted linear model on labelled data."""
+        model = load_model(database, model_name)
+        weights = model["w"]
+        table = catalog.table(table_name)
+        correct = 0
+        total = 0
+        for row in table.scan():
+            example = SupervisedExample(row[feature_column], row[label_column])
+            predicted = 1.0 if dot_product(weights, example.features) >= 0 else -1.0
+            if predicted == (1.0 if example.label > 0 else -1.0):
+                correct += 1
+            total += 1
+        return correct / total if total else 0.0
+
+    def lmf_predict(model_name: str, table_name: str, row_column: str = "row_id",
+                    col_column: str = "col_id") -> float:
+        """Mean predicted rating over the (row, col) pairs in a table."""
+        import numpy as np
+
+        model = load_model(database, model_name)
+        left = model["L"]
+        right = model["R"]
+        table = catalog.table(table_name)
+        predictions = [
+            float(np.dot(left[int(row[row_column])], right[int(row[col_column])]))
+            for row in table.scan()
+        ]
+        return float(np.mean(predictions)) if predictions else 0.0
+
+    catalog.register_function("lrpredict", lr_predict)
+    catalog.register_function("svmpredict", svm_predict)
+    catalog.register_function("classifyaccuracy", classify_accuracy)
+    catalog.register_function("lmfpredict", lmf_predict)

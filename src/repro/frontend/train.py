@@ -1,0 +1,159 @@
+"""MADlib-mimicking SQL training functions.
+
+Section 2.1 of the paper shows the end-user interface::
+
+    SELECT SVMTrain('myModel', 'LabeledPapers', 'vec', 'label');
+
+:func:`install_frontend` registers that family of scalar functions
+(``SVMTrain``, ``LRTrain``, ``LassoTrain``, ``LMFTrain``, ``CRFTrain``) on a
+database so exactly that query works.  Each function infers the model
+dimensions from the data, trains with the Bismarck runner (shuffle-once,
+shared defaults), persists the model as a user table, and returns a short
+summary string — mirroring how MADlib's training functions behave.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..core.driver import BismarckRunner, IGDConfig
+from ..db.engine import Database
+from ..db.parallel import SegmentedDatabase
+from ..tasks.crf import ConditionalRandomFieldTask
+from ..tasks.lasso import LassoTask
+from ..tasks.logistic_regression import LogisticRegressionTask
+from ..tasks.matrix_factorization import LowRankMatrixFactorizationTask
+from ..tasks.svm import SVMTask
+from .models import save_model
+
+DEFAULT_EPOCHS = 10
+DEFAULT_STEP_SIZE = {"kind": "epoch_decay", "alpha0": 0.1, "decay": 0.95}
+
+
+def _catalog(database) -> Database:
+    return database.master if isinstance(database, SegmentedDatabase) else database
+
+
+def _infer_feature_dimension(table, feature_column: str) -> int:
+    """Dimensionality of the feature column: array length or max sparse index + 1."""
+    dimension = 0
+    for row in table.scan():
+        features = row[feature_column]
+        if isinstance(features, Mapping):
+            if features:
+                dimension = max(dimension, max(features) + 1)
+        else:
+            dimension = max(dimension, len(features))
+    if dimension == 0:
+        raise ValueError(f"could not infer a feature dimension from column {feature_column!r}")
+    return dimension
+
+
+def _train_and_persist(database, task, table_name: str, model_name: str, config: IGDConfig) -> str:
+    runner = BismarckRunner(database, task, config)
+    result = runner.train(table_name)
+    save_model(database, model_name, result.model)
+    return (
+        f"model '{model_name}' trained with {task.name}: "
+        f"epochs={result.epochs_run}, objective={result.final_objective:.6g}"
+    )
+
+
+def _config(step_size: Any = None, epochs: int | None = None, **overrides) -> IGDConfig:
+    return IGDConfig(
+        step_size=step_size if step_size is not None else dict(DEFAULT_STEP_SIZE),
+        max_epochs=int(epochs) if epochs is not None else DEFAULT_EPOCHS,
+        ordering="shuffle_once",
+        **overrides,
+    )
+
+
+def install_frontend(database: Database | SegmentedDatabase) -> None:
+    """Register the training and prediction SQL functions on ``database``."""
+    catalog = _catalog(database)
+
+    def lr_train(model_name: str, table_name: str, feature_column: str, label_column: str,
+                 step_size: float | None = None, epochs: int | None = None,
+                 mu: float = 0.0) -> str:
+        table = catalog.table(table_name)
+        dimension = _infer_feature_dimension(table, feature_column)
+        task = LogisticRegressionTask(
+            dimension, mu=mu, feature_column=feature_column, label_column=label_column
+        )
+        return _train_and_persist(database, task, table_name, model_name, _config(step_size, epochs))
+
+    def svm_train(model_name: str, table_name: str, feature_column: str, label_column: str,
+                  step_size: float | None = None, epochs: int | None = None,
+                  mu: float = 0.0) -> str:
+        table = catalog.table(table_name)
+        dimension = _infer_feature_dimension(table, feature_column)
+        task = SVMTask(
+            dimension, mu=mu, feature_column=feature_column, label_column=label_column
+        )
+        return _train_and_persist(database, task, table_name, model_name, _config(step_size, epochs))
+
+    def lasso_train(model_name: str, table_name: str, feature_column: str, label_column: str,
+                    mu: float = 0.1, step_size: float | None = None,
+                    epochs: int | None = None) -> str:
+        table = catalog.table(table_name)
+        dimension = _infer_feature_dimension(table, feature_column)
+        task = LassoTask(
+            dimension, mu=mu, feature_column=feature_column, label_column=label_column
+        )
+        return _train_and_persist(database, task, table_name, model_name, _config(step_size, epochs))
+
+    def lmf_train(model_name: str, table_name: str, row_column: str = "row_id",
+                  col_column: str = "col_id", value_column: str = "rating",
+                  rank: int = 10, step_size: float | None = None,
+                  epochs: int | None = None, mu: float = 0.01) -> str:
+        table = catalog.table(table_name)
+        num_rows = max(int(row[row_column]) for row in table.scan()) + 1
+        num_cols = max(int(row[col_column]) for row in table.scan()) + 1
+        task = LowRankMatrixFactorizationTask(
+            num_rows,
+            num_cols,
+            rank=int(rank),
+            mu=mu,
+            row_column=row_column,
+            col_column=col_column,
+            value_column=value_column,
+        )
+        effective_step = step_size if step_size is not None else 0.05
+        return _train_and_persist(
+            database, task, table_name, model_name, _config(effective_step, epochs)
+        )
+
+    def crf_train(model_name: str, table_name: str, tokens_column: str = "tokens",
+                  labels_column: str = "labels", step_size: float | None = None,
+                  epochs: int | None = None) -> str:
+        table = catalog.table(table_name)
+        probe_task = ConditionalRandomFieldTask(
+            1_000_000, 2, features_column=tokens_column, labels_column=labels_column
+        )
+        max_feature = 0
+        max_label = 1
+        for row in table.scan():
+            example = probe_task.example_from_row(row)
+            for features in example.token_features:
+                if features:
+                    max_feature = max(max_feature, max(features))
+            max_label = max(max_label, max(example.labels))
+        task = ConditionalRandomFieldTask(
+            max_feature + 1,
+            max_label + 1,
+            features_column=tokens_column,
+            labels_column=labels_column,
+        )
+        return _train_and_persist(database, task, table_name, model_name, _config(step_size, epochs))
+
+    catalog.register_function("lrtrain", lr_train)
+    catalog.register_function("svmtrain", svm_train)
+    catalog.register_function("lassotrain", lasso_train)
+    catalog.register_function("lmftrain", lmf_train)
+    catalog.register_function("crftrain", crf_train)
+
+    # Prediction functions are registered alongside training so one install
+    # call wires up the whole MADlib-style surface.
+    from .predict import install_prediction_functions
+
+    install_prediction_functions(database)

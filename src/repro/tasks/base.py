@@ -1,0 +1,162 @@
+"""Task interface: objective, per-example gradient step, and loss.
+
+Every analytics technique Bismarck supports (Figure 1B of the paper) is a
+:class:`Task`: it knows how to build its initial model, how to turn a database
+row into a training example, how to take one incremental gradient step on one
+example (the body of the UDA ``transition`` function), and how to evaluate its
+loss on one example (used by the loss UDA and the stopping rules).
+
+The code-snippet comparison in Figure 4 of the paper — LR and SVM differ in a
+handful of lines inside ``transition`` — is mirrored here: the task subclasses
+are tiny, and everything else (ordering, parallelism, sampling, convergence)
+is shared.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..core.model import Model
+from ..core.proximal import IdentityProximal, ProximalOperator
+from ..db.types import Row
+
+# ---------------------------------------------------------------------------
+# Sparse/dense feature helpers (the Dot_Product / Scale_And_Add of Figure 4)
+# ---------------------------------------------------------------------------
+FeatureVector = "np.ndarray | Mapping[int, float]"
+
+
+def dot_product(weights: np.ndarray, features: Any) -> float:
+    """``w . x`` for dense (ndarray) or sparse (index->value mapping) features."""
+    if isinstance(features, Mapping):
+        return float(sum(weights[index] * value for index, value in features.items()))
+    return float(np.dot(weights, features))
+
+
+def scale_and_add(weights: np.ndarray, features: Any, scalar: float) -> None:
+    """``w += scalar * x`` in place, for dense or sparse features."""
+    if isinstance(features, Mapping):
+        for index, value in features.items():
+            weights[index] += scalar * value
+    else:
+        weights += scalar * features
+
+
+def feature_dimension(features: Any) -> int:
+    """Dimensionality implied by a feature vector (max index + 1 for sparse)."""
+    if isinstance(features, Mapping):
+        return (max(features) + 1) if features else 0
+    return int(np.asarray(features).shape[0])
+
+
+class Task:
+    """Base class for analytics tasks solved by IGD."""
+
+    #: Short machine-readable name, used by the SQL front end and registries.
+    name: str = "task"
+
+    def __init__(self, proximal: ProximalOperator | None = None):
+        self.proximal: ProximalOperator = proximal or IdentityProximal()
+
+    # -------------------------------------------------------------- interface
+    def initial_model(self, rng: np.random.Generator | None = None) -> Model:
+        """Build the initial model state (typically zeros)."""
+        raise NotImplementedError
+
+    def example_from_row(self, row: Row | Mapping[str, Any]) -> Any:
+        """Convert a database row into this task's example representation."""
+        raise NotImplementedError
+
+    def gradient_step(self, model: Model, example: Any, alpha: float) -> None:
+        """One incremental gradient step on ``example`` with step size ``alpha``.
+
+        Mutates ``model`` in place; the proximal operator is applied by the
+        caller (the IGD UDA), not here, so the same task works with different
+        regularisers.
+        """
+        raise NotImplementedError
+
+    def loss(self, model: Model, example: Any) -> float:
+        """Per-example loss f(w, z_i) (without the P(w) term)."""
+        raise NotImplementedError
+
+    def predict(self, model: Model, example: Any) -> Any:
+        """Optional prediction for one example."""
+        raise NotImplementedError(f"{type(self).__name__} does not implement predict()")
+
+    # --------------------------------------------------------------- helpers
+    def total_loss(self, model: Model, examples: Iterable[Any]) -> float:
+        """Sum of per-example losses (the data term of the objective)."""
+        return float(sum(self.loss(model, example) for example in examples))
+
+    def objective(self, model: Model, examples: Iterable[Any]) -> float:
+        """Full objective: data term plus the proximal operator's penalty."""
+        return self.total_loss(model, examples) + self.proximal.penalty(model)
+
+    def batch_gradient(self, model: Model, examples: Iterable[Any]) -> Model:
+        """Full (batch) gradient as a Model with the same structure.
+
+        Default implementation accumulates the effect of per-example IGD steps
+        with a unit step size, which equals the analytic gradient for tasks
+        whose gradient_step is a plain ``w -= alpha * grad`` update.  Tasks
+        with conditional updates (e.g. SVM's hinge) inherit this behaviour
+        correctly because the subgradient is what the step applies.
+        """
+        gradient = model.zeros_like()
+        probe = model.copy()
+        for example in examples:
+            snapshot = model.copy()
+            self.gradient_step(snapshot, example, 1.0)
+            # gradient contribution = -(w_after - w_before) for alpha = 1
+            for component_name, array in gradient.items():
+                array -= snapshot[component_name] - model[component_name]
+        del probe
+        return gradient
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SupervisedExample:
+    """A generic (features, label) example used by LR, SVM and least squares."""
+
+    __slots__ = ("features", "label")
+
+    def __init__(self, features: Any, label: float):
+        self.features = features
+        self.label = float(label)
+
+    def __repr__(self) -> str:
+        return f"SupervisedExample(label={self.label}, features={type(self.features).__name__})"
+
+
+class LinearModelTask(Task):
+    """Shared plumbing for tasks whose model is a single coefficient vector."""
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        feature_column: str = "vec",
+        label_column: str = "label",
+        proximal: ProximalOperator | None = None,
+    ):
+        super().__init__(proximal)
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.dimension = dimension
+        self.feature_column = feature_column
+        self.label_column = label_column
+
+    def initial_model(self, rng: np.random.Generator | None = None) -> Model:
+        return Model({"w": np.zeros(self.dimension)})
+
+    def example_from_row(self, row: Row | Mapping[str, Any]) -> SupervisedExample:
+        features = row[self.feature_column]
+        label = row[self.label_column]
+        return SupervisedExample(features, label)
+
+    def decision_value(self, model: Model, example: SupervisedExample) -> float:
+        return dot_product(model["w"], example.features)

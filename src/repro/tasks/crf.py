@@ -1,0 +1,226 @@
+"""Linear-chain conditional random field labelling (the "CRF" task).
+
+Objective (Figure 1B): maximise ``sum_k [ sum_j w_j F_j(y_k, x_k) - log Z(x_k) ]``
+over label sequences; we minimise the negative log-likelihood.  Each training
+example is one token sequence (a database tuple holding the token feature
+indices and the gold labels), so — as with every other task — IGD touches one
+tuple per gradient step.
+
+The model has two components:
+
+* ``emission``  — shape (num_features, num_labels); weight of feature f firing
+  with label y on a token;
+* ``transition`` — shape (num_labels, num_labels); weight of label bigram
+  (y_prev, y_curr).
+
+Gradients are computed with the standard forward–backward algorithm in log
+space (empirical feature counts minus expected counts under the model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.model import Model
+from ..core.proximal import ProximalOperator
+from ..db.types import Row
+from .base import Task
+
+
+@dataclass(frozen=True)
+class SequenceExample:
+    """A token sequence: per-token active feature indices plus gold labels."""
+
+    token_features: tuple[tuple[int, ...], ...]
+    labels: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.token_features) != len(self.labels):
+            raise ValueError(
+                f"sequence has {len(self.token_features)} tokens but "
+                f"{len(self.labels)} labels"
+            )
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def _log_sum_exp(values: np.ndarray, axis: int | None = None) -> np.ndarray:
+    maximum = np.max(values, axis=axis, keepdims=True)
+    result = maximum + np.log(np.sum(np.exp(values - maximum), axis=axis, keepdims=True))
+    if axis is None:
+        return result.reshape(())
+    return np.squeeze(result, axis=axis)
+
+
+class ConditionalRandomFieldTask(Task):
+    """Linear-chain CRF trained by incremental gradient descent."""
+
+    name = "crf"
+
+    def __init__(
+        self,
+        num_features: int,
+        num_labels: int,
+        *,
+        mu: float = 0.0,
+        features_column: str = "tokens",
+        labels_column: str = "labels",
+        proximal: ProximalOperator | None = None,
+    ):
+        super().__init__(proximal)
+        if num_features <= 0 or num_labels <= 1:
+            raise ValueError("need at least one feature and two labels")
+        self.num_features = num_features
+        self.num_labels = num_labels
+        self.mu = mu
+        self.features_column = features_column
+        self.labels_column = labels_column
+
+    # -------------------------------------------------------------- interface
+    def initial_model(self, rng: np.random.Generator | None = None) -> Model:
+        return Model(
+            {
+                "emission": np.zeros((self.num_features, self.num_labels)),
+                "transition": np.zeros((self.num_labels, self.num_labels)),
+            }
+        )
+
+    def example_from_row(self, row: Row | Mapping[str, Any]) -> SequenceExample:
+        """Rows store sequences as encoded text: ``"1,2|4"`` tokens, ``"0 1"`` labels.
+
+        Token features are ``|``-separated tokens each holding a
+        comma-separated list of feature indices; labels are space-separated
+        integers.  (This keeps the sequences inside plain TEXT columns, the
+        same trick in-RDBMS CRF implementations use.)
+        """
+        raw_tokens = row[self.features_column]
+        raw_labels = row[self.labels_column]
+        if isinstance(raw_tokens, str):
+            token_features = tuple(
+                tuple(int(f) for f in token.split(",") if f != "")
+                for token in raw_tokens.split("|")
+            )
+        else:
+            token_features = tuple(tuple(int(f) for f in token) for token in raw_tokens)
+        if isinstance(raw_labels, str):
+            labels = tuple(int(label) for label in raw_labels.split())
+        else:
+            labels = tuple(int(label) for label in raw_labels)
+        return SequenceExample(token_features=token_features, labels=labels)
+
+    # --------------------------------------------------------------- internals
+    def _token_scores(self, model: Model, example: SequenceExample) -> np.ndarray:
+        """Per-token emission scores, shape (T, num_labels)."""
+        emission = model["emission"]
+        scores = np.zeros((len(example), self.num_labels))
+        for t, features in enumerate(example.token_features):
+            for feature in features:
+                scores[t] += emission[feature]
+        return scores
+
+    def _forward_backward(
+        self, model: Model, example: SequenceExample
+    ) -> tuple[np.ndarray, np.ndarray, float, np.ndarray]:
+        """Return (alpha, beta, log_Z, scores) in log space."""
+        transition = model["transition"]
+        scores = self._token_scores(model, example)
+        length = len(example)
+        alpha = np.zeros((length, self.num_labels))
+        beta = np.zeros((length, self.num_labels))
+        alpha[0] = scores[0]
+        for t in range(1, length):
+            # alpha[t, y] = score[t, y] + logsumexp_y'( alpha[t-1, y'] + T[y', y] )
+            alpha[t] = scores[t] + _log_sum_exp(
+                alpha[t - 1][:, None] + transition, axis=0
+            )
+        beta[length - 1] = 0.0
+        for t in range(length - 2, -1, -1):
+            beta[t] = _log_sum_exp(
+                transition + scores[t + 1][None, :] + beta[t + 1][None, :], axis=1
+            )
+        log_z = float(_log_sum_exp(alpha[length - 1]))
+        return alpha, beta, log_z, scores
+
+    # -------------------------------------------------------------- interface
+    def loss(self, model: Model, example: SequenceExample) -> float:
+        """Negative log-likelihood of the gold label sequence."""
+        _, _, log_z, scores = self._forward_backward(model, example)
+        transition = model["transition"]
+        gold_score = 0.0
+        previous_label: int | None = None
+        for t, label in enumerate(example.labels):
+            gold_score += scores[t, label]
+            if previous_label is not None:
+                gold_score += transition[previous_label, label]
+            previous_label = label
+        return log_z - gold_score
+
+    def gradient_step(self, model: Model, example: SequenceExample, alpha: float) -> None:
+        """One IGD step: add ``alpha * (empirical - expected)`` feature counts."""
+        emission = model["emission"]
+        transition = model["transition"]
+        alphas, betas, log_z, scores = self._forward_backward(model, example)
+        length = len(example)
+
+        # Unary marginals p(y_t = y | x), shape (T, num_labels).
+        unary_log = alphas + betas - log_z
+        unary = np.exp(unary_log)
+
+        # Emission updates: empirical minus expected, scaled by the step size.
+        for t, features in enumerate(example.token_features):
+            gold = example.labels[t]
+            for feature in features:
+                emission[feature, gold] += alpha
+                emission[feature] -= alpha * unary[t]
+
+        # Pairwise marginals and transition updates.  Marginals must be
+        # computed against the pre-update transition weights (the same ones
+        # the forward/backward pass used), so snapshot them before mutating.
+        original_transition = transition.copy()
+        for t in range(1, length):
+            pairwise_log = (
+                alphas[t - 1][:, None]
+                + original_transition
+                + scores[t][None, :]
+                + betas[t][None, :]
+                - log_z
+            )
+            pairwise = np.exp(pairwise_log)
+            transition[example.labels[t - 1], example.labels[t]] += alpha
+            transition -= alpha * pairwise
+
+        if self.mu > 0:
+            emission -= alpha * self.mu * emission
+            transition -= alpha * self.mu * transition
+
+    def predict(self, model: Model, example: SequenceExample) -> list[int]:
+        """Viterbi decoding of the most likely label sequence."""
+        transition = model["transition"]
+        scores = self._token_scores(model, example)
+        length = len(example)
+        viterbi = np.zeros((length, self.num_labels))
+        backpointer = np.zeros((length, self.num_labels), dtype=np.int64)
+        viterbi[0] = scores[0]
+        for t in range(1, length):
+            candidate = viterbi[t - 1][:, None] + transition
+            backpointer[t] = np.argmax(candidate, axis=0)
+            viterbi[t] = scores[t] + np.max(candidate, axis=0)
+        labels = [int(np.argmax(viterbi[length - 1]))]
+        for t in range(length - 1, 0, -1):
+            labels.append(int(backpointer[t, labels[-1]]))
+        labels.reverse()
+        return labels
+
+    def token_accuracy(self, model: Model, examples: Sequence[SequenceExample]) -> float:
+        """Fraction of tokens whose Viterbi label matches the gold label."""
+        correct = 0
+        total = 0
+        for example in examples:
+            predicted = self.predict(model, example)
+            correct += sum(1 for p, g in zip(predicted, example.labels) if p == g)
+            total += len(example)
+        return correct / total if total else 0.0

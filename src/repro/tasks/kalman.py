@@ -1,0 +1,122 @@
+"""Kalman-filter state smoothing as an IGD task.
+
+Figure 1B lists the objective::
+
+    sum_{t=1..T} ||C w_t - f(y_t)||_2^2 + ||w_t - A w_{t-1}||_2^2
+
+i.e. fit a sequence of latent states ``w_1 .. w_T`` to noisy observations
+``y_t`` under linear dynamics ``A`` and observation model ``C``.  The model is
+the whole state trajectory (a T x d matrix); each training example is one time
+step ``(t, y_t)``, and its gradient touches ``w_t`` and ``w_{t-1}`` only — so
+the tuple-at-a-time access pattern is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.model import Model
+from ..core.proximal import ProximalOperator
+from ..db.types import Row
+from .base import Task
+
+
+@dataclass(frozen=True)
+class ObservationExample:
+    """One observed time step."""
+
+    time_index: int
+    observation: np.ndarray
+
+
+class KalmanSmoothingTask(Task):
+    """Least-squares state smoothing under linear dynamics."""
+
+    name = "kalman"
+
+    def __init__(
+        self,
+        num_steps: int,
+        state_dim: int,
+        obs_dim: int | None = None,
+        *,
+        dynamics: np.ndarray | None = None,
+        observation_matrix: np.ndarray | None = None,
+        smoothing_weight: float = 1.0,
+        time_column: str = "t",
+        observation_column: str = "y",
+        proximal: ProximalOperator | None = None,
+    ):
+        super().__init__(proximal)
+        if num_steps <= 1:
+            raise ValueError("need at least two time steps")
+        if state_dim <= 0:
+            raise ValueError("state dimension must be positive")
+        obs_dim = obs_dim or state_dim
+        self.num_steps = num_steps
+        self.state_dim = state_dim
+        self.obs_dim = obs_dim
+        self.dynamics = (
+            np.asarray(dynamics, dtype=np.float64)
+            if dynamics is not None
+            else np.eye(state_dim)
+        )
+        self.observation_matrix = (
+            np.asarray(observation_matrix, dtype=np.float64)
+            if observation_matrix is not None
+            else np.eye(obs_dim, state_dim)
+        )
+        if self.dynamics.shape != (state_dim, state_dim):
+            raise ValueError("dynamics matrix A must be (state_dim, state_dim)")
+        if self.observation_matrix.shape != (obs_dim, state_dim):
+            raise ValueError("observation matrix C must be (obs_dim, state_dim)")
+        self.smoothing_weight = smoothing_weight
+        self.time_column = time_column
+        self.observation_column = observation_column
+
+    # -------------------------------------------------------------- interface
+    def initial_model(self, rng: np.random.Generator | None = None) -> Model:
+        return Model({"states": np.zeros((self.num_steps, self.state_dim))})
+
+    def example_from_row(self, row: Row | Mapping[str, Any]) -> ObservationExample:
+        observation = np.asarray(row[self.observation_column], dtype=np.float64)
+        if observation.ndim == 0:
+            observation = observation.reshape(1)
+        return ObservationExample(time_index=int(row[self.time_column]), observation=observation)
+
+    def gradient_step(self, model: Model, example: ObservationExample, alpha: float) -> None:
+        states = model["states"]
+        t = example.time_index
+        c_matrix = self.observation_matrix
+        a_matrix = self.dynamics
+
+        # Observation term gradient w.r.t. w_t: 2 C^T (C w_t - y_t)
+        observation_residual = c_matrix @ states[t] - example.observation
+        grad_t = 2.0 * c_matrix.T @ observation_residual
+
+        if t >= 1:
+            dynamics_residual = states[t] - a_matrix @ states[t - 1]
+            grad_t = grad_t + 2.0 * self.smoothing_weight * dynamics_residual
+            grad_prev = -2.0 * self.smoothing_weight * a_matrix.T @ dynamics_residual
+            states[t - 1] -= alpha * grad_prev
+        states[t] -= alpha * grad_t
+
+    def loss(self, model: Model, example: ObservationExample) -> float:
+        states = model["states"]
+        t = example.time_index
+        observation_residual = self.observation_matrix @ states[t] - example.observation
+        value = float(np.dot(observation_residual, observation_residual))
+        if t >= 1:
+            dynamics_residual = states[t] - self.dynamics @ states[t - 1]
+            value += self.smoothing_weight * float(np.dot(dynamics_residual, dynamics_residual))
+        return value
+
+    def predict(self, model: Model, example: ObservationExample) -> np.ndarray:
+        """The smoothed state estimate at the example's time step."""
+        return model["states"][example.time_index].copy()
+
+    def smoothed_trajectory(self, model: Model) -> np.ndarray:
+        return model["states"].copy()

@@ -1,0 +1,36 @@
+"""Lasso: least squares with an L1 penalty, solved via the proximal IGD rule.
+
+This exercises the proximal-point machinery of Appendix A: the data term is
+ordinary squared error, the regulariser ``mu * ||w||_1`` is handled entirely by
+the soft-thresholding proximal operator applied after each gradient step.
+"""
+
+from __future__ import annotations
+
+from ..core.proximal import L1Proximal, ProximalOperator
+from .least_squares import LinearRegressionTask
+
+
+class LassoTask(LinearRegressionTask):
+    """L1-regularised linear regression."""
+
+    name = "lasso"
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        mu: float = 0.1,
+        feature_column: str = "vec",
+        label_column: str = "label",
+        proximal: ProximalOperator | None = None,
+    ):
+        if mu < 0:
+            raise ValueError("mu must be non-negative")
+        super().__init__(
+            dimension,
+            feature_column=feature_column,
+            label_column=label_column,
+            proximal=proximal or L1Proximal(mu),
+        )
+        self.mu = mu

@@ -1,0 +1,83 @@
+"""Logistic regression task (the "LR" of the paper).
+
+Objective: ``sum_i log(1 + exp(-y_i * w . x_i)) + mu * ||w||_1`` with labels
+``y_i in {-1, +1}``.  The gradient step is the C snippet from Figure 4 of the
+paper, transcribed:
+
+.. code-block:: c
+
+    wx  = Dot_Product(w, e.x);
+    sig = Sigmoid(-wx * e.y);
+    c   = stepsize * e.y * sig;
+    Scale_And_Add(w, e.x, c);
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.model import Model
+from ..core.proximal import L1Proximal, ProximalOperator
+from .base import LinearModelTask, SupervisedExample, dot_product, scale_and_add
+
+
+def sigmoid(value: float) -> float:
+    """Numerically stable logistic function."""
+    if value >= 0:
+        return 1.0 / (1.0 + math.exp(-value))
+    exp_value = math.exp(value)
+    return exp_value / (1.0 + exp_value)
+
+
+def log1p_exp(value: float) -> float:
+    """Numerically stable ``log(1 + exp(value))``."""
+    if value > 35.0:
+        return value
+    if value < -35.0:
+        return 0.0
+    return math.log1p(math.exp(value))
+
+
+class LogisticRegressionTask(LinearModelTask):
+    """Binary logistic regression with optional L1 regularisation."""
+
+    name = "logistic_regression"
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        mu: float = 0.0,
+        feature_column: str = "vec",
+        label_column: str = "label",
+        proximal: ProximalOperator | None = None,
+    ):
+        if proximal is None and mu > 0:
+            proximal = L1Proximal(mu)
+        super().__init__(
+            dimension,
+            feature_column=feature_column,
+            label_column=label_column,
+            proximal=proximal,
+        )
+        self.mu = mu
+
+    def gradient_step(self, model: Model, example: SupervisedExample, alpha: float) -> None:
+        w = model["w"]
+        wx = dot_product(w, example.features)
+        sig = sigmoid(-wx * example.label)
+        c = alpha * example.label * sig
+        scale_and_add(w, example.features, c)
+
+    def loss(self, model: Model, example: SupervisedExample) -> float:
+        wx = dot_product(model["w"], example.features)
+        return log1p_exp(-example.label * wx)
+
+    def predict(self, model: Model, example: SupervisedExample) -> float:
+        """Probability that the label is +1."""
+        wx = dot_product(model["w"], example.features)
+        return sigmoid(wx)
+
+    def classify(self, model: Model, example: SupervisedExample) -> int:
+        """Hard label in {-1, +1}."""
+        return 1 if self.predict(model, example) >= 0.5 else -1

@@ -1,0 +1,71 @@
+"""Task registry: maps task names to constructors.
+
+The SQL front end (``repro.frontend``) resolves the task to train through this
+registry, so adding a new analytics technique to the system is exactly the
+paper's claim — implement a :class:`~repro.tasks.base.Task` subclass (a few
+dozen lines) and register it; every other part of the architecture (ordering,
+parallelism, sampling, convergence, the SQL interface) is reused unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Task
+from .crf import ConditionalRandomFieldTask
+from .kalman import KalmanSmoothingTask
+from .lasso import LassoTask
+from .least_squares import LinearRegressionTask, OneDimensionalLeastSquares
+from .logistic_regression import LogisticRegressionTask
+from .matrix_factorization import LowRankMatrixFactorizationTask
+from .portfolio import PortfolioOptimizationTask
+from .svm import SVMTask
+
+TaskFactory = Callable[..., Task]
+
+_REGISTRY: dict[str, TaskFactory] = {}
+
+
+def register_task(name: str, factory: TaskFactory) -> None:
+    """Register a task constructor under a (case-insensitive) name."""
+    _REGISTRY[name.lower()] = factory
+
+
+def unregister_task(name: str) -> None:
+    _REGISTRY.pop(name.lower(), None)
+
+
+def task_names() -> list[str]:
+    """All registered task names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def is_registered(name: str) -> bool:
+    return name.lower() in _REGISTRY
+
+
+def create_task(name: str, **kwargs) -> Task:
+    """Instantiate a registered task by name."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown task {name!r}; registered tasks: {task_names()}"
+        ) from None
+    return factory(**kwargs)
+
+
+# Built-in tasks (the zoo of Figure 1B plus the CA-TX least-squares problems).
+register_task("logistic_regression", LogisticRegressionTask)
+register_task("lr", LogisticRegressionTask)
+register_task("svm", SVMTask)
+register_task("classification", SVMTask)
+register_task("least_squares", LinearRegressionTask)
+register_task("linear_regression", LinearRegressionTask)
+register_task("least_squares_1d", OneDimensionalLeastSquares)
+register_task("lasso", LassoTask)
+register_task("lmf", LowRankMatrixFactorizationTask)
+register_task("matrix_factorization", LowRankMatrixFactorizationTask)
+register_task("crf", ConditionalRandomFieldTask)
+register_task("kalman", KalmanSmoothingTask)
+register_task("portfolio", PortfolioOptimizationTask)

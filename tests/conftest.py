@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    load_classification_table,
+    make_dense_classification,
+    make_sparse_classification,
+)
+from repro.db import ColumnType, Database, Schema, Table
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def simple_schema():
+    return Schema.of(
+        ("id", ColumnType.INTEGER),
+        ("value", ColumnType.FLOAT),
+        ("name", ColumnType.TEXT),
+    )
+
+
+@pytest.fixture
+def people_table(simple_schema):
+    table = Table("people", simple_schema)
+    table.insert_many(
+        [
+            (1, 3.5, "ann"),
+            (2, -1.0, "bob"),
+            (3, 7.25, "carol"),
+            (4, 0.0, "dave"),
+        ]
+    )
+    return table
+
+
+@pytest.fixture
+def database():
+    return Database("postgres", seed=0)
+
+
+@pytest.fixture
+def dense_dataset():
+    return make_dense_classification(120, 8, seed=7)
+
+
+@pytest.fixture
+def sparse_dataset():
+    return make_sparse_classification(80, 50, nonzeros_per_example=6, seed=7)
+
+
+@pytest.fixture
+def classification_db(database, dense_dataset):
+    load_classification_table(database, "papers", dense_dataset.examples, sparse=False)
+    return database

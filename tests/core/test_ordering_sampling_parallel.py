@@ -1,0 +1,290 @@
+"""Tests for ordering policies, reservoir/MRS sampling and parallel schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusteredOrder,
+    Model,
+    PureUDAParallelism,
+    ReservoirSampler,
+    SharedMemoryParallelism,
+    ShuffleAlways,
+    ShuffleOnce,
+    make_ordering,
+    modeled_epoch_seconds,
+    modeled_speedup,
+    ordering_names,
+    partition_round_robin,
+    run_clustered_no_shuffle,
+    run_multiplexed_reservoir_sampling,
+    run_shared_memory_epoch,
+    run_subsampling,
+)
+from repro.data import make_dense_classification
+from repro.db import ColumnType, Schema, Table
+from repro.tasks import LogisticRegressionTask, SupervisedExample
+
+
+@pytest.fixture
+def label_table():
+    schema = Schema.of(("id", ColumnType.INTEGER), ("label", ColumnType.FLOAT))
+    table = Table("t", schema)
+    table.insert_many((i, 1.0 if i < 10 else -1.0) for i in range(20))
+    return table
+
+
+class TestOrderingPolicies:
+    def test_clustered_is_noop_without_column(self, label_table):
+        policy = ClusteredOrder()
+        before = label_table.column_values("id")
+        policy.prepare(label_table, np.random.default_rng(0))
+        policy.before_epoch(label_table, 0, np.random.default_rng(0))
+        assert label_table.column_values("id") == before
+        assert policy.shuffle_count == 0
+
+    def test_clustered_with_column_sorts(self, label_table):
+        label_table.shuffle(seed=1)
+        policy = ClusteredOrder(cluster_column="label", descending=True)
+        policy.prepare(label_table, np.random.default_rng(0))
+        labels = label_table.column_values("label")
+        assert labels == sorted(labels, reverse=True)
+
+    def test_shuffle_once_only_prepares(self, label_table):
+        policy = ShuffleOnce()
+        rng = np.random.default_rng(0)
+        policy.prepare(label_table, rng)
+        after_prepare = label_table.column_values("id")
+        policy.before_epoch(label_table, 0, rng)
+        policy.before_epoch(label_table, 1, rng)
+        assert label_table.column_values("id") == after_prepare
+        assert policy.shuffle_count == 1
+        assert policy.shuffle_seconds >= 0.0
+
+    def test_shuffle_always_reshuffles_each_epoch(self, label_table):
+        policy = ShuffleAlways()
+        rng = np.random.default_rng(0)
+        policy.prepare(label_table, rng)
+        policy.before_epoch(label_table, 0, rng)
+        first = label_table.column_values("id")
+        policy.before_epoch(label_table, 1, rng)
+        second = label_table.column_values("id")
+        assert policy.shuffle_count == 2
+        assert first != second
+
+    def test_make_ordering_coercion(self):
+        assert isinstance(make_ordering(None), ShuffleOnce)
+        assert isinstance(make_ordering("clustered"), ClusteredOrder)
+        policy = ShuffleAlways()
+        assert make_ordering(policy) is policy
+        with pytest.raises(ValueError):
+            make_ordering("alphabetical")
+
+    def test_ordering_names(self):
+        assert set(ordering_names()) == {"clustered", "shuffle_always", "shuffle_once"}
+
+
+class TestReservoirSampler:
+    def test_fill_phase_drops_nothing(self):
+        sampler = ReservoirSampler(5, np.random.default_rng(0))
+        dropped = [sampler.offer(i) for i in range(5)]
+        assert dropped == [None] * 5
+        assert sampler.is_full
+        assert sorted(sampler.sample()) == [0, 1, 2, 3, 4]
+
+    def test_post_fill_always_drops_exactly_one(self):
+        sampler = ReservoirSampler(5, np.random.default_rng(0))
+        for i in range(5):
+            sampler.offer(i)
+        for i in range(5, 50):
+            dropped = sampler.offer(i)
+            assert dropped is not None
+        assert len(sampler) == 5
+
+    def test_items_conserved(self):
+        sampler = ReservoirSampler(10, np.random.default_rng(3))
+        dropped = []
+        items = list(range(100))
+        for item in items:
+            out = sampler.offer(item)
+            if out is not None:
+                dropped.append(out)
+        assert sorted(dropped + sampler.sample()) == items
+
+    def test_uniformity_rough(self):
+        # Each of the 20 items should land in a capacity-10 reservoir about
+        # half the time; verify the inclusion frequencies are not degenerate.
+        counts = np.zeros(20)
+        for seed in range(300):
+            sampler = ReservoirSampler(10, np.random.default_rng(seed))
+            for i in range(20):
+                sampler.offer(i)
+            for kept in sampler.sample():
+                counts[kept] += 1
+        frequencies = counts / 300
+        assert frequencies.min() > 0.3
+        assert frequencies.max() < 0.7
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+
+class TestSamplingRunners:
+    @pytest.fixture
+    def clustered_examples(self):
+        dataset = make_dense_classification(120, 6, seed=5).clustered_by_label()
+        return dataset.examples, LogisticRegressionTask(6)
+
+    def test_subsampling_trains_only_on_buffer(self, clustered_examples):
+        examples, task = clustered_examples
+        result = run_subsampling(examples, task, buffer_size=20, epochs=4, step_size=0.1, seed=0)
+        assert result.scheme == "subsampling"
+        assert result.buffer_size == 20
+        assert len(result.history) == 4
+        assert result.history[0].gradient_steps == 20
+
+    def test_mrs_converges_better_than_subsampling(self, clustered_examples):
+        examples, task = clustered_examples
+        subsampling = run_subsampling(
+            examples, task, buffer_size=12, epochs=6, step_size=0.1, seed=0
+        )
+        mrs = run_multiplexed_reservoir_sampling(
+            examples, task, buffer_size=12, epochs=6, step_size=0.1, seed=0
+        )
+        assert mrs.final_objective < subsampling.final_objective
+
+    def test_mrs_uses_more_gradient_steps_per_epoch(self, clustered_examples):
+        examples, task = clustered_examples
+        mrs = run_multiplexed_reservoir_sampling(
+            examples, task, buffer_size=12, epochs=2, step_size=0.1, seed=0
+        )
+        # I/O worker steps on dropped tuples plus memory-worker steps.
+        assert mrs.history[-1].gradient_steps > len(examples)
+
+    def test_clustered_runner_matches_epoch_count(self, clustered_examples):
+        examples, task = clustered_examples
+        result = run_clustered_no_shuffle(examples, task, epochs=3, step_size=0.1, seed=0)
+        assert len(result.history) == 3
+        assert result.history[-1].gradient_steps == 3 * len(examples)
+
+    def test_epochs_to_reach(self, clustered_examples):
+        examples, task = clustered_examples
+        result = run_clustered_no_shuffle(examples, task, epochs=5, step_size=0.1, seed=0)
+        trace = result.objective_trace()
+        assert result.epochs_to_reach(trace[-1]) <= 5
+        assert result.epochs_to_reach(-1.0) is None
+
+
+class TestSharedMemoryEpoch:
+    @pytest.fixture
+    def workload(self):
+        dataset = make_dense_classification(100, 5, seed=2)
+        return dataset.examples, LogisticRegressionTask(5)
+
+    @pytest.mark.parametrize("scheme", ["lock", "aig", "nolock"])
+    def test_all_schemes_make_progress(self, workload, scheme):
+        examples, task = workload
+        model = task.initial_model()
+        before = task.total_loss(model, examples)
+        updated, steps = run_shared_memory_epoch(
+            examples, task, model, 0.1,
+            spec=SharedMemoryParallelism(scheme=scheme, workers=4),
+        )
+        after = task.total_loss(updated, examples)
+        assert steps == len(examples)
+        assert after < before
+
+    def test_lock_scheme_matches_round_robin_serial(self, workload):
+        examples, task = workload
+        model = task.initial_model()
+        updated, _ = run_shared_memory_epoch(
+            examples, task, model, 0.1,
+            spec=SharedMemoryParallelism(scheme="lock", workers=4),
+        )
+        # Serial reference following the same round-robin worker interleaving.
+        reference = task.initial_model()
+        partitions = partition_round_robin(len(examples), 4)
+        cursors = [0] * 4
+        remaining = len(examples)
+        step = 0
+        while remaining:
+            for worker in range(4):
+                if cursors[worker] < len(partitions[worker]):
+                    index = partitions[worker][cursors[worker]]
+                    task.gradient_step(reference, examples[index], 0.1)
+                    cursors[worker] += 1
+                    remaining -= 1
+                    step += 1
+        assert updated.allclose(reference, atol=1e-9)
+
+    def test_empty_input(self, workload):
+        _, task = workload
+        model = task.initial_model()
+        updated, steps = run_shared_memory_epoch(
+            [], task, model, 0.1, spec=SharedMemoryParallelism(scheme="nolock", workers=4)
+        )
+        assert steps == 0
+
+    def test_charge_per_tuple_called(self, workload):
+        examples, task = workload
+        calls = []
+        run_shared_memory_epoch(
+            examples, task, task.initial_model(), 0.1,
+            spec=SharedMemoryParallelism(scheme="nolock", workers=2),
+            charge_per_tuple=lambda: calls.append(1),
+        )
+        assert len(calls) == len(examples)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            SharedMemoryParallelism(scheme="optimistic", workers=4)
+        with pytest.raises(ValueError):
+            SharedMemoryParallelism(scheme="nolock", workers=0)
+
+    def test_effective_staleness_defaults(self):
+        assert SharedMemoryParallelism(scheme="lock", workers=8).effective_staleness() == 1
+        assert SharedMemoryParallelism(scheme="nolock", workers=8).effective_staleness() == 8
+        assert SharedMemoryParallelism(scheme="nolock", workers=8, staleness=3).effective_staleness() == 3
+
+
+class TestSpeedupModel:
+    def test_partition_round_robin(self):
+        partitions = partition_round_robin(10, 3)
+        assert [len(p) for p in partitions] == [4, 3, 3]
+        assert sorted(i for p in partitions for i in p) == list(range(10))
+
+    def test_single_worker_is_identity(self):
+        for scheme in ("lock", "aig", "nolock", "pure_uda"):
+            assert modeled_epoch_seconds(2.0, scheme, 1) == pytest.approx(2.0)
+
+    def test_nolock_and_aig_near_linear(self):
+        assert modeled_speedup(1.0, "nolock", 8) > 6.5
+        assert modeled_speedup(1.0, "aig", 8) > 5.0
+
+    def test_lock_gets_no_speedup(self):
+        assert modeled_speedup(1.0, "lock", 8) <= 1.0
+
+    def test_pure_uda_sublinear(self):
+        nolock = modeled_speedup(1.0, "nolock", 8)
+        pure = modeled_speedup(1.0, "pure_uda", 8, model_passing_cost=5.0, model_parameters=10000)
+        assert 1.0 < pure < nolock
+
+    def test_speedup_monotone_in_workers(self):
+        speedups = [modeled_speedup(1.0, "nolock", w) for w in range(1, 9)]
+        assert all(b >= a for a, b in zip(speedups, speedups[1:]))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            modeled_epoch_seconds(-1.0, "nolock", 4)
+        with pytest.raises(ValueError):
+            modeled_epoch_seconds(1.0, "nolock", 0)
+        with pytest.raises(ValueError):
+            modeled_epoch_seconds(1.0, "quantum", 4)
+
+    def test_pure_uda_spec_dataclass(self):
+        spec = PureUDAParallelism()
+        assert spec.segments is None
+        assert spec.name == "pure_uda"

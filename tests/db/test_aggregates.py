@@ -1,0 +1,153 @@
+"""Tests for built-in aggregates, the UDA contract and the registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.db import (
+    AggregateRegistry,
+    ColumnType,
+    ExecutionError,
+    FunctionalAggregate,
+    NullAggregate,
+    Schema,
+    UnknownFunctionError,
+)
+from repro.db.aggregates import (
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    StddevAggregate,
+    SumAggregate,
+)
+from repro.db.types import Row
+
+
+class TestBuiltinAggregates:
+    def test_count_ignores_nulls(self):
+        assert CountAggregate().run([1, None, 2, None, 3]) == 3
+
+    def test_sum(self):
+        assert SumAggregate().run([1, 2, 3, None]) == 6
+
+    def test_sum_all_null_returns_none(self):
+        assert SumAggregate().run([None, None]) is None
+
+    def test_avg(self):
+        assert AvgAggregate().run([2, 4, None, 6]) == pytest.approx(4.0)
+
+    def test_avg_empty_is_none(self):
+        assert AvgAggregate().run([]) is None
+
+    def test_min_max(self):
+        assert MinAggregate().run([5, 1, None, 3]) == 1
+        assert MaxAggregate().run([5, 1, None, 3]) == 5
+
+    def test_stddev_matches_population_formula(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert StddevAggregate().run(values) == pytest.approx(2.0)
+
+    def test_stddev_empty_is_none(self):
+        assert StddevAggregate().run([]) is None
+
+    def test_null_aggregate_counts_rows(self):
+        schema = Schema.of(("x", ColumnType.FLOAT))
+        rows = [Row(schema, (float(i),)) for i in range(10)]
+        assert NullAggregate().run(rows) == 10
+
+
+class TestMergeSemantics:
+    """Merging partial states must equal a single serial aggregation."""
+
+    @pytest.mark.parametrize(
+        "aggregate_cls",
+        [CountAggregate, SumAggregate, AvgAggregate, MinAggregate, MaxAggregate, StddevAggregate],
+    )
+    def test_merge_equals_serial(self, aggregate_cls):
+        values = [1.0, -2.0, 5.5, 3.25, 0.0, 10.0, -7.5]
+        serial = aggregate_cls().run(values)
+
+        aggregate = aggregate_cls()
+        state_a = aggregate.initialize()
+        for value in values[:3]:
+            state_a = aggregate.transition(state_a, value)
+        state_b = aggregate.initialize()
+        for value in values[3:]:
+            state_b = aggregate.transition(state_b, value)
+        merged = aggregate.terminate(aggregate.merge(state_a, state_b))
+
+        if serial is None:
+            assert merged is None
+        else:
+            assert merged == pytest.approx(serial)
+
+    def test_stddev_merge_with_empty_partition(self):
+        aggregate = StddevAggregate()
+        state_a = aggregate.initialize()
+        state_b = aggregate.initialize()
+        for value in (1.0, 2.0, 3.0):
+            state_b = aggregate.transition(state_b, value)
+        merged = aggregate.terminate(aggregate.merge(state_a, state_b))
+        assert merged == pytest.approx(aggregate.run([1.0, 2.0, 3.0]))
+
+
+class TestFunctionalAggregate:
+    def test_wraps_callables(self):
+        concat = FunctionalAggregate(
+            initialize=list,
+            transition=lambda state, value: state + [value],
+            terminate=lambda state: ",".join(state),
+        )
+        assert concat.run(["a", "b", "c"]) == "a,b,c"
+
+    def test_merge_unsupported_raises(self):
+        aggregate = FunctionalAggregate(initialize=int, transition=lambda s, v: s + v)
+        assert aggregate.supports_merge is False
+        with pytest.raises(ExecutionError):
+            aggregate.merge(1, 2)
+
+    def test_merge_supported_when_provided(self):
+        aggregate = FunctionalAggregate(
+            initialize=int,
+            transition=lambda s, v: s + v,
+            merge=lambda a, b: a + b,
+        )
+        assert aggregate.supports_merge is True
+        assert aggregate.merge(3, 4) == 7
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        registry = AggregateRegistry()
+        for name in ("count", "sum", "avg", "min", "max", "stddev", "null_agg"):
+            assert name in registry
+
+    def test_register_and_create(self):
+        registry = AggregateRegistry()
+        registry.register("mycount", CountAggregate)
+        instance = registry.create("MYCOUNT")
+        assert isinstance(instance, CountAggregate)
+
+    def test_register_instance_returns_same_object(self):
+        registry = AggregateRegistry()
+        shared = NullAggregate()
+        registry.register_instance("shared_null", shared)
+        assert registry.create("shared_null") is shared
+
+    def test_unknown_raises(self):
+        registry = AggregateRegistry()
+        with pytest.raises(UnknownFunctionError):
+            registry.create("no_such_aggregate")
+
+    def test_unregister(self):
+        registry = AggregateRegistry()
+        registry.register("temp", CountAggregate)
+        registry.unregister("temp")
+        assert "temp" not in registry
+
+    def test_create_returns_fresh_instances(self):
+        registry = AggregateRegistry()
+        assert registry.create("count") is not registry.create("count")

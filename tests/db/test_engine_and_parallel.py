@@ -1,0 +1,170 @@
+"""Tests for engine personalities, the segmented database and shared memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    DBMS_A,
+    DBMS_B,
+    POSTGRES,
+    Database,
+    ExecutionError,
+    FunctionalAggregate,
+    NullAggregate,
+    SegmentedDatabase,
+    SharedMemoryArena,
+    SharedMemoryError,
+    UnknownTableError,
+    connect,
+)
+
+
+class TestPersonalities:
+    def test_connect_by_name(self):
+        assert connect("postgres").personality is POSTGRES
+        assert connect("dbms_a").personality is DBMS_A
+        assert connect("dbms_b").personality is DBMS_B
+
+    def test_postgresql_alias(self):
+        assert Database("postgresql").personality is POSTGRES
+
+    def test_unknown_personality_raises(self):
+        with pytest.raises(ExecutionError):
+            Database("dbms_z")
+
+    def test_dbms_a_has_expensive_model_passing(self):
+        assert DBMS_A.model_passing_cost > POSTGRES.model_passing_cost
+
+    def test_dbms_b_is_parallel_by_default(self):
+        assert DBMS_B.default_segments == 8
+
+
+class TestSegmentedDatabase:
+    @pytest.fixture
+    def seg_db(self):
+        database = SegmentedDatabase(4, "dbms_b", seed=0)
+        database.create_table("numbers", [("id", "int"), ("value", "float")])
+        database.insert("numbers", [(i, float(i)) for i in range(40)])
+        return database
+
+    def test_segments_cover_all_rows(self, seg_db):
+        segments = seg_db.segments_of("numbers")
+        assert len(segments) == 4
+        assert sum(len(s) for s in segments) == 40
+
+    def test_parallel_aggregate_matches_serial(self, seg_db):
+        outcome = seg_db.run_parallel_aggregate("numbers", lambda: seg_db.master.aggregates.create("sum"), "value")
+        assert outcome.value == pytest.approx(sum(range(40)))
+        assert outcome.num_segments == 4
+        assert outcome.merges == 3
+
+    def test_parallel_aggregate_without_merge_falls_back(self, seg_db):
+        factory = lambda: FunctionalAggregate(initialize=int, transition=lambda s, v: s + 1)
+        outcome = seg_db.run_parallel_aggregate("numbers", factory, "value")
+        assert outcome.num_segments == 1
+        assert outcome.value == 40
+
+    def test_null_aggregate_parallel(self, seg_db):
+        outcome = seg_db.run_parallel_aggregate("numbers", NullAggregate)
+        assert outcome.value == 40
+
+    def test_shuffle_redistributes(self, seg_db):
+        before = [row["id"] for row in seg_db.segments_of("numbers")[0].scan()]
+        seg_db.shuffle_table("numbers", seed=5)
+        after = [row["id"] for row in seg_db.segments_of("numbers")[0].scan()]
+        assert sorted(before) != sorted(after) or before != after
+        assert sum(len(s) for s in seg_db.segments_of("numbers")) == 40
+
+    def test_unknown_table_raises(self, seg_db):
+        with pytest.raises(UnknownTableError):
+            seg_db.segments_of("missing")
+
+    def test_invalid_segment_count(self):
+        with pytest.raises(ExecutionError):
+            SegmentedDatabase(0, "dbms_b")
+
+    def test_sql_passthrough(self, seg_db):
+        assert seg_db.execute("SELECT count(*) FROM numbers").scalar() == 40
+
+    def test_default_segment_count_from_personality(self):
+        database = SegmentedDatabase(personality="dbms_b")
+        assert database.num_segments == 8
+
+
+class TestSharedMemory:
+    def test_allocate_and_attach(self):
+        arena = SharedMemoryArena()
+        segment = arena.allocate("model", 10, fill=1.0)
+        np.testing.assert_allclose(segment.array, np.ones(10))
+        assert arena.attach("model") is segment
+        assert arena.exists("model")
+        assert arena.total_bytes() == 80
+
+    def test_allocate_from_copies(self):
+        arena = SharedMemoryArena()
+        source = np.arange(5, dtype=np.float64)
+        segment = arena.allocate_from("w", source)
+        source[0] = 99.0
+        assert segment.array[0] == 0.0
+
+    def test_duplicate_allocation_raises(self):
+        arena = SharedMemoryArena()
+        arena.allocate("x", 3)
+        with pytest.raises(SharedMemoryError):
+            arena.allocate("x", 3)
+
+    def test_attach_missing_raises(self):
+        with pytest.raises(SharedMemoryError):
+            SharedMemoryArena().attach("nope")
+
+    def test_free(self):
+        arena = SharedMemoryArena()
+        arena.allocate("x", 3)
+        arena.free("x")
+        assert not arena.exists("x")
+        with pytest.raises(SharedMemoryError):
+            arena.free("x")
+
+    def test_lock_counts_acquisitions(self):
+        arena = SharedMemoryArena()
+        segment = arena.allocate("w", 4)
+        with segment.lock() as array:
+            array += 1.0
+        assert segment.lock_acquisitions == 1
+        np.testing.assert_allclose(segment.array, np.ones(4))
+
+    def test_compare_and_exchange(self):
+        arena = SharedMemoryArena()
+        segment = arena.allocate("w", 2)
+        assert segment.compare_and_exchange(0, 0.0, 5.0) is True
+        assert segment.compare_and_exchange(0, 0.0, 7.0) is False
+        assert segment.array[0] == 5.0
+
+    def test_atomic_add(self):
+        arena = SharedMemoryArena()
+        segment = arena.allocate("w", 3)
+        segment.atomic_add(1, 2.5)
+        segment.atomic_add(1, -1.0)
+        assert segment.array[1] == pytest.approx(1.5)
+        assert segment.atomic_operations >= 2
+
+    def test_unsynchronised_add(self):
+        arena = SharedMemoryArena()
+        segment = arena.allocate("w", 4)
+        segment.unsynchronised_add(np.array([0, 2]), np.array([1.0, 3.0]))
+        np.testing.assert_allclose(segment.array, [1.0, 0.0, 3.0, 0.0])
+        assert segment.unsynchronised_writes == 1
+
+    def test_snapshot_is_copy(self):
+        arena = SharedMemoryArena()
+        segment = arena.allocate("w", 2, fill=1.0)
+        snapshot = segment.snapshot()
+        segment.array[0] = 9.0
+        assert snapshot[0] == 1.0
+
+    def test_database_owns_arena(self):
+        database = Database()
+        database.shared_memory.allocate("model", 5)
+        assert database.shared_memory.exists("model")

@@ -1,0 +1,173 @@
+"""Tests for the SQL execution path: SELECT, filters, ordering, aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    Database,
+    DuplicateTableError,
+    ExecutionError,
+    FunctionalAggregate,
+    UnknownFunctionError,
+    UnknownTableError,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database("postgres", seed=0)
+    database.execute("CREATE TABLE points (id INT, x FLOAT, label FLOAT)")
+    database.execute(
+        "INSERT INTO points VALUES (1, 0.5, 1), (2, -0.5, -1), (3, 2.5, 1), (4, -2.0, -1), (5, 0.0, 1)"
+    )
+    return database
+
+
+class TestDDLAndDML:
+    def test_create_and_insert_via_sql(self, db):
+        assert db.has_table("points")
+        assert len(db.table("points")) == 5
+
+    def test_duplicate_create_raises(self, db):
+        with pytest.raises(DuplicateTableError):
+            db.execute("CREATE TABLE points (id INT)")
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE points")
+        assert not db.has_table("points")
+
+    def test_drop_missing_table_raises(self, db):
+        with pytest.raises(UnknownTableError):
+            db.execute("DROP TABLE nothere")
+
+    def test_drop_if_exists_silent(self, db):
+        db.execute("DROP TABLE IF EXISTS nothere")
+
+    def test_insert_returns_count(self, db):
+        result = db.execute("INSERT INTO points VALUES (6, 1.0, 1), (7, 2.0, -1)")
+        assert result.rows == [(2,)]
+
+    def test_array_column_roundtrip(self):
+        database = Database()
+        database.execute("CREATE TABLE vecs (id INT, v FLOAT8[])")
+        database.execute("INSERT INTO vecs VALUES (1, ARRAY[1.0, 2.0, 3.0])")
+        value = database.table("vecs").row_at(0)["v"]
+        np.testing.assert_allclose(value, [1.0, 2.0, 3.0])
+
+
+class TestSelect:
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM points")
+        assert result.columns == ["id", "x", "label"]
+        assert len(result) == 5
+
+    def test_select_projection(self, db):
+        result = db.execute("SELECT id, x * 2 AS doubled FROM points")
+        assert result.columns == ["id", "doubled"]
+        assert result.rows[0] == (1, 1.0)
+
+    def test_where_filter(self, db):
+        result = db.execute("SELECT id FROM points WHERE label > 0")
+        assert sorted(row[0] for row in result.rows) == [1, 3, 5]
+
+    def test_where_and_or(self, db):
+        result = db.execute("SELECT id FROM points WHERE label > 0 AND x > 0 OR id = 4")
+        assert sorted(row[0] for row in result.rows) == [1, 3, 4]
+
+    def test_order_by_and_limit(self, db):
+        result = db.execute("SELECT id FROM points ORDER BY x DESC LIMIT 2")
+        assert result.column("id") == [3, 1]
+
+    def test_order_by_random_is_permutation(self, db):
+        result = db.execute("SELECT id FROM points ORDER BY RANDOM()")
+        assert sorted(result.column("id")) == [1, 2, 3, 4, 5]
+
+    def test_tableless_select(self, db):
+        assert db.execute("SELECT 1 + 2 * 3").scalar() == 7
+
+    def test_select_unknown_table(self, db):
+        with pytest.raises(UnknownTableError):
+            db.execute("SELECT * FROM missing")
+
+    def test_scalar_on_non_scalar_result_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT * FROM points").scalar()
+
+    def test_result_as_dicts(self, db):
+        dicts = db.execute("SELECT id FROM points WHERE id = 1").as_dicts()
+        assert dicts == [{"id": 1}]
+
+
+class TestAggregationSQL:
+    def test_count_star(self, db):
+        assert db.execute("SELECT count(*) FROM points").scalar() == 5
+
+    def test_multiple_aggregates(self, db):
+        result = db.execute("SELECT count(*), avg(x), min(x), max(x) FROM points")
+        count, avg, minimum, maximum = result.rows[0]
+        assert count == 5
+        assert avg == pytest.approx(0.1)
+        assert minimum == -2.0
+        assert maximum == 2.5
+
+    def test_aggregate_with_where(self, db):
+        assert db.execute("SELECT sum(x) FROM points WHERE label > 0").scalar() == pytest.approx(3.0)
+
+    def test_null_agg_counts_tuples(self, db):
+        assert db.execute("SELECT null_agg(*) FROM points").scalar() == 5
+
+    def test_custom_uda_via_sql(self, db):
+        db.register_aggregate(
+            "sumsq",
+            lambda: FunctionalAggregate(
+                initialize=float,
+                transition=lambda state, value: state + value * value,
+                merge=lambda a, b: a + b,
+            ),
+        )
+        expected = sum(x * x for x in db.table("points").column_values("x"))
+        assert db.execute("SELECT sumsq(x) FROM points").scalar() == pytest.approx(expected)
+
+    def test_mixing_aggregates_and_columns_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT id, count(*) FROM points")
+
+
+class TestScalarFunctions:
+    def test_registered_function_call(self, db):
+        db.register_function("addone", lambda value: value + 1)
+        assert db.execute("SELECT AddOne(41)").scalar() == 42
+
+    def test_unknown_function_raises(self, db):
+        with pytest.raises(UnknownFunctionError):
+            db.execute("SELECT NoSuchFunction(1)")
+
+    def test_function_usable_in_projection(self, db):
+        db.register_function("square", lambda value: value * value)
+        result = db.execute("SELECT square(x) FROM points WHERE id = 3")
+        assert result.scalar() == pytest.approx(6.25)
+
+
+class TestRunAggregateAPI:
+    def test_run_aggregate_with_column_argument(self, db):
+        assert db.run_aggregate("points", "sum", "x") == pytest.approx(0.5)
+
+    def test_run_aggregate_with_row_order(self, db):
+        order = [4, 3, 2, 1, 0]
+        collected = []
+        aggregate = FunctionalAggregate(
+            initialize=list,
+            transition=lambda state, row: state + [row["id"]],
+            wants_row=True,
+        )
+        db.run_aggregate("points", aggregate, row_order=order)
+        result = db.run_aggregate("points", aggregate, row_order=order)
+        assert result[-5:] == [5, 4, 3, 2, 1]
+
+    def test_run_aggregate_with_where(self, db):
+        from repro.db.expressions import BinaryOp, ColumnRef, Literal
+
+        predicate = BinaryOp(">", ColumnRef("label"), Literal(0))
+        assert db.run_aggregate("points", "count", "id", where=predicate) == 3

@@ -1,0 +1,107 @@
+"""Tests for the expression AST and evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import ColumnType, ExecutionError, Schema, UnknownFunctionError
+from repro.db.expressions import (
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    Star,
+    UnaryOp,
+    evaluate_all,
+)
+from repro.db.types import Row
+
+
+@pytest.fixture
+def row():
+    schema = Schema.of(("x", ColumnType.FLOAT), ("y", ColumnType.FLOAT), ("name", ColumnType.TEXT))
+    return Row(schema, (2.0, -3.0, "ann"))
+
+
+class TestEvaluation:
+    def test_literal(self, row):
+        assert Literal(42).evaluate(row) == 42
+
+    def test_column_ref(self, row):
+        assert ColumnRef("x").evaluate(row) == 2.0
+
+    def test_column_ref_without_row_raises(self):
+        with pytest.raises(ExecutionError):
+            ColumnRef("x").evaluate(None)
+
+    def test_star_returns_dict(self, row):
+        assert Star().evaluate(row) == {"x": 2.0, "y": -3.0, "name": "ann"}
+
+    def test_star_without_row_raises(self):
+        with pytest.raises(ExecutionError):
+            Star().evaluate(None)
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", -1.0), ("-", 5.0), ("*", -6.0), ("/", -2.0 / 3.0), ("%", 2.0 % -3.0)],
+    )
+    def test_arithmetic(self, row, op, expected):
+        expression = BinaryOp(op, ColumnRef("x"), ColumnRef("y"))
+        assert expression.evaluate(row) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", False), (">", True), ("<=", False), (">=", True)],
+    )
+    def test_comparisons(self, row, op, expected):
+        expression = BinaryOp(op, ColumnRef("x"), ColumnRef("y"))
+        assert expression.evaluate(row) is expected
+
+    def test_boolean_connectives(self, row):
+        true_expr = BinaryOp(">", ColumnRef("x"), Literal(0))
+        false_expr = BinaryOp(">", ColumnRef("y"), Literal(0))
+        assert BinaryOp("and", true_expr, false_expr).evaluate(row) is False
+        assert BinaryOp("or", true_expr, false_expr).evaluate(row) is True
+
+    def test_unary_operators(self, row):
+        assert UnaryOp("-", ColumnRef("x")).evaluate(row) == -2.0
+        assert UnaryOp("not", Literal(False)).evaluate(row) is True
+        with pytest.raises(ExecutionError):
+            UnaryOp("~", Literal(1)).evaluate(row)
+
+    def test_division_by_zero(self, row):
+        with pytest.raises(ExecutionError):
+            BinaryOp("/", ColumnRef("x"), Literal(0)).evaluate(row)
+
+    def test_type_error_wrapped(self, row):
+        with pytest.raises(ExecutionError):
+            BinaryOp("*", ColumnRef("name"), ColumnRef("name")).evaluate(row)
+
+    def test_unsupported_operator(self, row):
+        with pytest.raises(ExecutionError):
+            BinaryOp("**", Literal(2), Literal(3)).evaluate(row)
+
+    def test_function_call(self, row):
+        call = FunctionCall("double", (ColumnRef("x"),))
+        assert call.evaluate(row, {"double": lambda v: v * 2}) == 4.0
+
+    def test_function_call_unknown(self, row):
+        with pytest.raises(UnknownFunctionError):
+            FunctionCall("missing", ()).evaluate(row, {})
+
+    def test_evaluate_all(self, row):
+        values = evaluate_all([Literal(1), ColumnRef("x")], row)
+        assert values == [1, 2.0]
+
+
+class TestReferencedColumns:
+    def test_column_collection(self):
+        expression = BinaryOp(
+            "and",
+            BinaryOp(">", ColumnRef("a"), Literal(0)),
+            FunctionCall("f", (ColumnRef("b"), UnaryOp("-", ColumnRef("c")))),
+        )
+        assert expression.referenced_columns() == {"a", "b", "c"}
+
+    def test_literal_references_nothing(self):
+        assert Literal(5).referenced_columns() == set()

@@ -1,0 +1,165 @@
+"""Tests for the mini-SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import ParseError
+from repro.db.expressions import BinaryOp, ColumnRef, FunctionCall, Literal, Star
+from repro.db.parser import (
+    CreateTableStatement,
+    DropTableStatement,
+    InsertStatement,
+    SelectStatement,
+    parse,
+    tokenize,
+)
+from repro.db.types import ColumnType
+
+AGGREGATES = ["count", "sum", "avg", "min", "max"]
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, 1.5 FROM t")
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["keyword", "ident", "op", "number", "keyword", "ident", "eof"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].kind == "string"
+        assert tokens[1].value == "'it''s'"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @a")
+
+    def test_scientific_notation(self):
+        tokens = tokenize("SELECT 1.5e-3")
+        assert tokens[1].kind == "number"
+
+
+class TestCreateDropInsert:
+    def test_create_table(self):
+        statement = parse("CREATE TABLE points (id INT, vec FLOAT8[], label FLOAT)")
+        assert isinstance(statement, CreateTableStatement)
+        assert statement.name == "points"
+        assert statement.columns == (
+            ("id", ColumnType.INTEGER),
+            ("vec", ColumnType.FLOAT_ARRAY),
+            ("label", ColumnType.FLOAT),
+        )
+
+    def test_drop_table(self):
+        statement = parse("DROP TABLE points")
+        assert isinstance(statement, DropTableStatement)
+        assert statement.name == "points"
+        assert statement.if_exists is False
+
+    def test_drop_table_if_exists(self):
+        statement = parse("DROP TABLE IF EXISTS points")
+        assert statement.if_exists is True
+
+    def test_insert_multiple_rows(self):
+        statement = parse("INSERT INTO t VALUES (1, 'x', -2.5), (2, 'y', 3)")
+        assert isinstance(statement, InsertStatement)
+        assert statement.table == "t"
+        assert statement.rows == ((1, "x", -2.5), (2, "y", 3))
+
+    def test_insert_array_literal(self):
+        statement = parse("INSERT INTO t VALUES (1, ARRAY[1.0, 2.0, 3.0])")
+        assert statement.rows[0][1] == [1.0, 2.0, 3.0]
+
+    def test_insert_null_and_booleans(self):
+        statement = parse("INSERT INTO t VALUES (NULL, TRUE, FALSE)")
+        assert statement.rows[0] == (None, True, False)
+
+
+class TestSelect:
+    def test_select_star(self):
+        statement = parse("SELECT * FROM papers")
+        assert isinstance(statement, SelectStatement)
+        assert statement.table == "papers"
+        assert isinstance(statement.items[0].expression, Star)
+
+    def test_select_with_where(self):
+        statement = parse("SELECT id FROM papers WHERE label > 0 AND id <= 10")
+        assert isinstance(statement.where, BinaryOp)
+        assert statement.where.op == "and"
+
+    def test_select_order_by_random(self):
+        statement = parse("SELECT * FROM papers ORDER BY RANDOM()")
+        assert statement.order_by is not None
+        assert statement.order_by.random is True
+
+    def test_select_order_by_column_desc_limit(self):
+        statement = parse("SELECT * FROM papers ORDER BY id DESC LIMIT 5")
+        assert statement.order_by.descending is True
+        assert isinstance(statement.order_by.expression, ColumnRef)
+        assert statement.limit == 5
+
+    def test_aggregate_detection(self):
+        statement = parse("SELECT count(*), avg(label) FROM papers", known_aggregates=AGGREGATES)
+        assert statement.has_aggregates
+        assert statement.items[0].aggregate_name == "count"
+        assert isinstance(statement.items[0].aggregate_argument, Star)
+        assert statement.items[1].aggregate_name == "avg"
+
+    def test_function_call_without_from(self):
+        statement = parse("SELECT SVMTrain('m', 'papers', 'vec', 'label')")
+        assert statement.table is None
+        call = statement.items[0].expression
+        assert isinstance(call, FunctionCall)
+        assert call.name == "SVMTrain"
+        assert [arg.value for arg in call.args] == ["m", "papers", "vec", "label"]
+
+    def test_alias(self):
+        statement = parse("SELECT id AS paper_id FROM papers")
+        assert statement.items[0].alias == "paper_id"
+
+    def test_bare_alias(self):
+        statement = parse("SELECT id paper_id FROM papers")
+        assert statement.items[0].alias == "paper_id"
+
+    def test_arithmetic_precedence(self):
+        statement = parse("SELECT 1 + 2 * 3")
+        expression = statement.items[0].expression
+        assert isinstance(expression, BinaryOp)
+        assert expression.op == "+"
+        assert isinstance(expression.right, BinaryOp)
+        assert expression.right.op == "*"
+
+    def test_unary_minus(self):
+        statement = parse("SELECT -5")
+        assert statement.items[0].expression.evaluate(None) == -5
+
+    def test_parenthesised_expression(self):
+        statement = parse("SELECT (1 + 2) * 3")
+        assert statement.items[0].expression.evaluate(None) == 9
+
+    def test_semicolon_allowed(self):
+        statement = parse("SELECT 1;")
+        assert isinstance(statement, SelectStatement)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT * FROM",
+            "CREATE TABLE t",
+            "INSERT INTO t",
+            "DELETE FROM t",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t ORDER BY",
+            "SELECT 1 2 3 FROM t,",
+        ],
+    )
+    def test_malformed_statements_raise(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 garbage garbage garbage()")

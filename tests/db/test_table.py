@@ -1,0 +1,129 @@
+"""Tests for heap tables: insertion, scans, clustering, shuffling, partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import ColumnType, Schema, SchemaError, Table
+
+
+@pytest.fixture
+def labelled_table():
+    schema = Schema.of(("id", ColumnType.INTEGER), ("label", ColumnType.FLOAT))
+    table = Table("labelled", schema, page_size=8)
+    table.insert_many((i, 1.0 if i % 2 == 0 else -1.0) for i in range(50))
+    return table
+
+
+class TestInsertAndScan:
+    def test_len_counts_rows(self, labelled_table):
+        assert len(labelled_table) == 50
+
+    def test_scan_preserves_insert_order(self, labelled_table):
+        ids = [row["id"] for row in labelled_table.scan()]
+        assert ids == list(range(50))
+
+    def test_scan_values_matches_scan(self, labelled_table):
+        assert list(labelled_table.scan_values()) == [row.values for row in labelled_table.scan()]
+
+    def test_pages_created_by_page_size(self, labelled_table):
+        assert labelled_table.num_pages == (50 + 7) // 8
+
+    def test_row_at_random_access(self, labelled_table):
+        assert labelled_table.row_at(17)["id"] == 17
+        assert labelled_table.row_at(-1)["id"] == 49
+
+    def test_row_at_out_of_range(self, labelled_table):
+        with pytest.raises(IndexError):
+            labelled_table.row_at(50)
+
+    def test_insert_coerces_types(self):
+        schema = Schema.of(("x", ColumnType.FLOAT))
+        table = Table("t", schema)
+        table.insert(("3",))
+        assert table.row_at(0)["x"] == pytest.approx(3.0)
+
+    def test_insert_mapping(self, labelled_table):
+        labelled_table.insert({"id": 100, "label": -1.0})
+        assert labelled_table.row_at(-1)["id"] == 100
+
+    def test_column_values(self, labelled_table):
+        labels = labelled_table.column_values("label")
+        assert len(labels) == 50
+        assert set(labels) == {1.0, -1.0}
+
+    def test_truncate(self, labelled_table):
+        labelled_table.truncate()
+        assert len(labelled_table) == 0
+        assert list(labelled_table.scan()) == []
+
+    def test_scan_count_statistic(self, labelled_table):
+        before = labelled_table.scan_count
+        list(labelled_table.scan())
+        assert labelled_table.scan_count == before + 1
+
+    def test_invalid_page_size(self):
+        with pytest.raises(SchemaError):
+            Table("bad", Schema.of(("x", ColumnType.FLOAT)), page_size=0)
+
+
+class TestReordering:
+    def test_cluster_by_sorts_heap(self, labelled_table):
+        labelled_table.cluster_by("label", descending=True)
+        labels = labelled_table.column_values("label")
+        assert labels == sorted(labels, reverse=True)
+        assert labelled_table.clustered_on == "label"
+
+    def test_cluster_by_key_callable(self, labelled_table):
+        labelled_table.cluster_by_key(lambda row: -row["id"], label="neg_id")
+        assert labelled_table.row_at(0)["id"] == 49
+        assert labelled_table.clustered_on == "neg_id"
+
+    def test_shuffle_is_permutation(self, labelled_table):
+        before = labelled_table.column_values("id")
+        labelled_table.shuffle(seed=3)
+        after = labelled_table.column_values("id")
+        assert sorted(after) == sorted(before)
+        assert after != before  # overwhelmingly likely for 50 rows
+        assert labelled_table.clustered_on is None
+
+    def test_shuffle_deterministic_with_seed(self, labelled_table):
+        clone = labelled_table.copy()
+        labelled_table.shuffle(seed=11)
+        clone.shuffle(seed=11)
+        assert labelled_table.column_values("id") == clone.column_values("id")
+
+    def test_insert_clears_clustering_flag(self, labelled_table):
+        labelled_table.cluster_by("label")
+        labelled_table.insert((999, 1.0))
+        assert labelled_table.clustered_on is None
+
+    def test_copy_is_independent(self, labelled_table):
+        clone = labelled_table.copy("clone")
+        clone.insert((999, 1.0))
+        assert len(clone) == 51
+        assert len(labelled_table) == 50
+
+
+class TestPartition:
+    def test_round_robin_partition_counts(self, labelled_table):
+        segments = labelled_table.partition(4)
+        assert len(segments) == 4
+        assert sum(len(segment) for segment in segments) == 50
+        assert max(len(s) for s in segments) - min(len(s) for s in segments) <= 1
+
+    def test_partition_contents_are_disjoint_cover(self, labelled_table):
+        segments = labelled_table.partition(3)
+        seen = sorted(
+            row["id"] for segment in segments for row in segment.scan()
+        )
+        assert seen == list(range(50))
+
+    def test_partition_invalid_count(self, labelled_table):
+        with pytest.raises(SchemaError):
+            labelled_table.partition(0)
+
+    def test_partition_preserves_schema(self, labelled_table):
+        segments = labelled_table.partition(2)
+        assert all(segment.schema is labelled_table.schema for segment in segments)

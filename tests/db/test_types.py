@@ -1,0 +1,137 @@
+"""Tests for column types, schemas and rows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import ColumnType, Schema, SchemaError, TypeMismatchError, UnknownColumnError
+from repro.db.types import Column, Row, coerce_value
+
+
+class TestColumnType:
+    def test_from_string_integer_aliases(self):
+        for alias in ("int", "INTEGER", "BigInt", "serial"):
+            assert ColumnType.from_string(alias) is ColumnType.INTEGER
+
+    def test_from_string_float_aliases(self):
+        for alias in ("float", "FLOAT8", "double precision", "real", "numeric"):
+            assert ColumnType.from_string(alias) is ColumnType.FLOAT
+
+    def test_from_string_array_aliases(self):
+        for alias in ("float8[]", "FLOAT[]", "real[]", "double[]"):
+            assert ColumnType.from_string(alias) is ColumnType.FLOAT_ARRAY
+
+    def test_from_string_sparse(self):
+        assert ColumnType.from_string("sparse_vector") is ColumnType.SPARSE_VECTOR
+        assert ColumnType.from_string("svec") is ColumnType.SPARSE_VECTOR
+
+    def test_from_string_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            ColumnType.from_string("geometry")
+
+
+class TestCoercion:
+    def test_integer_from_float_whole(self):
+        assert coerce_value(3.0, ColumnType.INTEGER) == 3
+
+    def test_integer_from_string(self):
+        assert coerce_value("42", ColumnType.INTEGER) == 42
+
+    def test_integer_from_fractional_float_raises(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(3.5, ColumnType.INTEGER)
+
+    def test_float_coercion(self):
+        assert coerce_value(2, ColumnType.FLOAT) == pytest.approx(2.0)
+        assert coerce_value("2.5", ColumnType.FLOAT) == pytest.approx(2.5)
+
+    def test_boolean_coercion(self):
+        assert coerce_value("true", ColumnType.BOOLEAN) is True
+        assert coerce_value(0, ColumnType.BOOLEAN) is False
+        with pytest.raises(TypeMismatchError):
+            coerce_value(7, ColumnType.BOOLEAN)
+
+    def test_float_array_from_list(self):
+        array = coerce_value([1, 2, 3], ColumnType.FLOAT_ARRAY)
+        assert isinstance(array, np.ndarray)
+        assert array.dtype == np.float64
+        np.testing.assert_allclose(array, [1.0, 2.0, 3.0])
+
+    def test_sparse_vector_from_mapping(self):
+        value = coerce_value({3: 1.5, "7": 2}, ColumnType.SPARSE_VECTOR)
+        assert value == {3: 1.5, 7: 2.0}
+
+    def test_sparse_vector_from_pairs(self):
+        value = coerce_value([(1, 0.5), (4, 2.0)], ColumnType.SPARSE_VECTOR)
+        assert value == {1: 0.5, 4: 2.0}
+
+    def test_null_nullable(self):
+        assert coerce_value(None, ColumnType.FLOAT) is None
+
+    def test_null_not_nullable_raises(self):
+        with pytest.raises(SchemaError):
+            coerce_value(None, ColumnType.FLOAT, nullable=False)
+
+    def test_text_coerces_anything(self):
+        assert coerce_value(12, ColumnType.TEXT) == "12"
+
+    def test_any_passthrough(self):
+        sentinel = object()
+        assert coerce_value(sentinel, ColumnType.ANY) is sentinel
+
+
+class TestSchema:
+    def test_of_builds_columns(self, simple_schema):
+        assert simple_schema.column_names == ("id", "value", "name")
+        assert simple_schema.column("value").type is ColumnType.FLOAT
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", ColumnType.INTEGER), ("a", ColumnType.FLOAT))
+
+    def test_index_of(self, simple_schema):
+        assert simple_schema.index_of("name") == 2
+        with pytest.raises(UnknownColumnError):
+            simple_schema.index_of("missing")
+
+    def test_contains(self, simple_schema):
+        assert "id" in simple_schema
+        assert "missing" not in simple_schema
+
+    def test_coerce_row_from_sequence(self, simple_schema):
+        row = simple_schema.coerce_row((1, "2.5", 10))
+        assert row == (1, 2.5, "10")
+
+    def test_coerce_row_from_mapping(self, simple_schema):
+        row = simple_schema.coerce_row({"id": 5, "value": 1.5, "name": "x"})
+        assert row == (5, 1.5, "x")
+
+    def test_coerce_row_wrong_arity(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.coerce_row((1, 2.0))
+
+    def test_schema_of_accepts_string_types(self):
+        schema = Schema.of(("vec", "float8[]"), ("label", "float"))
+        assert schema.column("vec").type is ColumnType.FLOAT_ARRAY
+
+
+class TestRow:
+    def test_access_by_name_and_index(self, simple_schema):
+        row = Row(simple_schema, (1, 2.0, "x"))
+        assert row["id"] == 1
+        assert row[1] == 2.0
+        assert row.get("name") == "x"
+        assert row.get("missing", "default") == "default"
+
+    def test_as_dict_and_iteration(self, simple_schema):
+        row = Row(simple_schema, (1, 2.0, "x"))
+        assert row.as_dict() == {"id": 1, "value": 2.0, "name": "x"}
+        assert list(row) == [1, 2.0, "x"]
+        assert len(row) == 3
+
+    def test_equality_with_tuple_and_row(self, simple_schema):
+        row = Row(simple_schema, (1, 2.0, "x"))
+        assert row == (1, 2.0, "x")
+        assert row == Row(simple_schema, (1, 2.0, "x"))
+        assert row != (2, 2.0, "x")

@@ -1,0 +1,257 @@
+"""Tests for the structured tasks: LMF, CRF, Kalman smoothing, portfolio."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Model, train_in_memory
+from repro.data import (
+    make_noisy_timeseries,
+    make_portfolio_returns,
+    make_ratings,
+    make_sequences,
+)
+from repro.tasks import (
+    ConditionalRandomFieldTask,
+    KalmanSmoothingTask,
+    LowRankMatrixFactorizationTask,
+    PortfolioOptimizationTask,
+    RatingExample,
+    ReturnSample,
+    SequenceExample,
+    create_task,
+    is_registered,
+    register_task,
+    task_names,
+    unregister_task,
+)
+
+
+class TestMatrixFactorization:
+    def test_initial_model_shapes(self):
+        task = LowRankMatrixFactorizationTask(10, 8, rank=3)
+        model = task.initial_model(np.random.default_rng(0))
+        assert model["L"].shape == (10, 3)
+        assert model["R"].shape == (8, 3)
+
+    def test_gradient_step_reduces_residual(self):
+        task = LowRankMatrixFactorizationTask(5, 5, rank=2, mu=0.0)
+        model = task.initial_model(np.random.default_rng(0))
+        example = RatingExample(1, 2, 3.0)
+        before = task.loss(model, example)
+        for _ in range(50):
+            task.gradient_step(model, example, 0.1)
+        assert task.loss(model, example) < before
+
+    def test_training_recovers_low_rank_structure(self):
+        dataset = make_ratings(40, 30, 600, rank=3, noise=0.05, seed=0)
+        task = LowRankMatrixFactorizationTask(40, 30, rank=3, mu=0.001)
+        result = train_in_memory(task, dataset.examples, epochs=30, step_size=0.05, seed=0)
+        rmse = task.reconstruction_rmse(result.model, dataset.examples)
+        assert rmse < 0.5
+
+    def test_full_objective_includes_regularizer(self):
+        task = LowRankMatrixFactorizationTask(3, 3, rank=1, mu=1.0)
+        model = Model({"L": np.ones((3, 1)), "R": np.ones((3, 1))})
+        assert task.regularization_penalty(model) == pytest.approx(6.0)
+        assert task.full_objective(model, []) == pytest.approx(6.0)
+
+    def test_example_from_row(self):
+        task = LowRankMatrixFactorizationTask(5, 5, rank=2)
+        example = task.example_from_row({"row_id": 2, "col_id": 3, "rating": 4.5})
+        assert (example.row, example.col, example.value) == (2, 3, 4.5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LowRankMatrixFactorizationTask(0, 5)
+        with pytest.raises(ValueError):
+            LowRankMatrixFactorizationTask(5, 5, rank=0)
+        with pytest.raises(ValueError):
+            LowRankMatrixFactorizationTask(5, 5, rank=2, mu=-1.0)
+
+
+class TestCRF:
+    @pytest.fixture
+    def corpus(self):
+        return make_sequences(25, mean_length=8, num_labels=3, seed=4)
+
+    def test_loss_decreases_with_training(self, corpus):
+        task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+        result = train_in_memory(task, corpus.examples, epochs=5, step_size=0.2, seed=0)
+        trace = result.objective_trace()
+        assert trace[-1] < trace[0]
+
+    def test_token_accuracy_improves_over_uniform(self, corpus):
+        task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+        result = train_in_memory(task, corpus.examples, epochs=6, step_size=0.2, seed=0)
+        accuracy = task.token_accuracy(result.model, corpus.examples)
+        assert accuracy > 0.8
+
+    def test_gradient_matches_finite_differences(self):
+        """The IGD update direction must equal -d(loss)/d(theta)."""
+        task = ConditionalRandomFieldTask(6, 3)
+        example = SequenceExample(
+            token_features=((0, 3), (1,), (2, 5)), labels=(0, 1, 2)
+        )
+        rng = np.random.default_rng(0)
+        model = Model(
+            {
+                "emission": rng.normal(scale=0.1, size=(6, 3)),
+                "transition": rng.normal(scale=0.1, size=(3, 3)),
+            }
+        )
+        # Analytic step with alpha=1 applied to a copy gives model + direction.
+        stepped = model.copy()
+        task.gradient_step(stepped, example, 1.0)
+        analytic_direction = stepped.as_flat_vector() - model.as_flat_vector()
+
+        epsilon = 1e-5
+        flat = model.as_flat_vector()
+        numeric = np.zeros_like(flat)
+        for i in range(flat.size):
+            plus = model.copy()
+            plus_flat = flat.copy()
+            plus_flat[i] += epsilon
+            plus.load_flat_vector(plus_flat)
+            minus = model.copy()
+            minus_flat = flat.copy()
+            minus_flat[i] -= epsilon
+            minus.load_flat_vector(minus_flat)
+            numeric[i] = (task.loss(plus, example) - task.loss(minus, example)) / (2 * epsilon)
+        np.testing.assert_allclose(analytic_direction, -numeric, atol=1e-4)
+
+    def test_loss_is_positive_and_finite(self):
+        task = ConditionalRandomFieldTask(4, 2)
+        example = SequenceExample(token_features=((0,), (1,)), labels=(0, 1))
+        loss = task.loss(task.initial_model(), example)
+        assert np.isfinite(loss)
+        assert loss > 0
+
+    def test_viterbi_prediction_length(self):
+        task = ConditionalRandomFieldTask(4, 2)
+        example = SequenceExample(token_features=((0,), (1,), (2,)), labels=(0, 1, 0))
+        predicted = task.predict(task.initial_model(), example)
+        assert len(predicted) == 3
+        assert all(0 <= label < 2 for label in predicted)
+
+    def test_example_encoding_roundtrip(self):
+        task = ConditionalRandomFieldTask(10, 3)
+        example = task.example_from_row({"tokens": "1,2|3|4,5", "labels": "0 1 2"})
+        assert example.token_features == ((1, 2), (3,), (4, 5))
+        assert example.labels == (0, 1, 2)
+
+    def test_sequence_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceExample(token_features=((0,),), labels=(0, 1))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ConditionalRandomFieldTask(0, 3)
+        with pytest.raises(ValueError):
+            ConditionalRandomFieldTask(5, 1)
+
+
+class TestKalman:
+    def test_smoothing_recovers_states(self):
+        series = make_noisy_timeseries(60, 2, noise_scale=0.3, seed=1)
+        task = KalmanSmoothingTask(
+            num_steps=60,
+            state_dim=2,
+            dynamics=series.dynamics,
+            observation_matrix=series.observation_matrix,
+            smoothing_weight=1.0,
+        )
+        result = train_in_memory(task, series.examples, epochs=30, step_size=0.05, seed=0)
+        smoothed = task.smoothed_trajectory(result.model)
+        raw_error = np.mean(
+            [
+                np.linalg.norm(example.observation - series.true_states[example.time_index])
+                for example in series.examples
+            ]
+        )
+        smoothed_error = np.mean(np.linalg.norm(smoothed - series.true_states, axis=1))
+        assert smoothed_error < raw_error
+
+    def test_loss_includes_dynamics_term(self):
+        task = KalmanSmoothingTask(num_steps=5, state_dim=1)
+        model = task.initial_model()
+        model["states"][1] = 2.0
+        from repro.tasks import ObservationExample
+
+        loss = task.loss(model, ObservationExample(1, np.array([0.0])))
+        # Observation residual 2^2 plus dynamics residual (2-0)^2.
+        assert loss == pytest.approx(8.0)
+
+    def test_first_step_has_no_dynamics_term(self):
+        task = KalmanSmoothingTask(num_steps=5, state_dim=1)
+        from repro.tasks import ObservationExample
+
+        loss = task.loss(task.initial_model(), ObservationExample(0, np.array([3.0])))
+        assert loss == pytest.approx(9.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            KalmanSmoothingTask(num_steps=1, state_dim=2)
+        with pytest.raises(ValueError):
+            KalmanSmoothingTask(num_steps=5, state_dim=2, dynamics=np.eye(3))
+
+
+class TestPortfolio:
+    def test_model_starts_in_simplex_and_stays_there(self):
+        data = make_portfolio_returns(6, 200, seed=2)
+        task = PortfolioOptimizationTask(
+            6, data.expected_returns, num_samples=len(data), risk_aversion=2.0
+        )
+        result = train_in_memory(task, data.examples, epochs=10, step_size=0.05, seed=0)
+        assert task.is_feasible(result.model)
+
+    def test_risk_decreases_relative_to_uniform(self):
+        data = make_portfolio_returns(6, 400, correlation=0.1, seed=3)
+        task = PortfolioOptimizationTask(
+            6, data.expected_returns, num_samples=len(data), risk_aversion=5.0
+        )
+        uniform = task.initial_model()
+        result = train_in_memory(task, data.examples, epochs=20, step_size=0.1, seed=0)
+        covariance = data.sample_covariance()
+        assert task.analytic_objective(result.model, covariance) <= task.analytic_objective(
+            uniform, covariance
+        ) + 1e-6
+
+    def test_example_from_row(self):
+        data = make_portfolio_returns(4, 10, seed=0)
+        task = PortfolioOptimizationTask(4, data.expected_returns, num_samples=10)
+        example = task.example_from_row({"returns": np.array([0.1, 0.2, 0.0, -0.1])})
+        assert isinstance(example, ReturnSample)
+        assert example.returns.shape == (4,)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PortfolioOptimizationTask(1, np.zeros(1), num_samples=10)
+        with pytest.raises(ValueError):
+            PortfolioOptimizationTask(3, np.zeros(2), num_samples=10)
+        with pytest.raises(ValueError):
+            PortfolioOptimizationTask(3, np.zeros(3), num_samples=0)
+
+
+class TestRegistry:
+    def test_builtin_tasks_registered(self):
+        for name in ("lr", "svm", "lmf", "crf", "kalman", "portfolio", "lasso"):
+            assert is_registered(name)
+
+    def test_create_task_by_name(self):
+        task = create_task("logistic_regression", dimension=5)
+        assert task.dimension == 5
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            create_task("clustering")
+
+    def test_register_and_unregister(self):
+        from repro.tasks import SVMTask
+
+        register_task("my_svm", SVMTask)
+        assert is_registered("my_svm")
+        assert "my_svm" in task_names()
+        unregister_task("my_svm")
+        assert not is_registered("my_svm")

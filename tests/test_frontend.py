@@ -1,0 +1,140 @@
+"""Tests for the MADlib-style SQL front end and model persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Model
+from repro.data import (
+    load_classification_table,
+    load_ratings_table,
+    load_sequences_table,
+    make_dense_classification,
+    make_ratings,
+    make_sequences,
+    make_sparse_classification,
+)
+from repro.db import Database, SegmentedDatabase
+from repro.frontend import install_frontend, load_model, model_exists, save_model
+
+
+@pytest.fixture
+def frontend_db():
+    database = Database("postgres", seed=0)
+    dense = make_dense_classification(150, 6, seed=0)
+    load_classification_table(database, "labeledpapers", dense.examples, sparse=False)
+    install_frontend(database)
+    return database
+
+
+class TestModelPersistence:
+    def test_save_and_load_roundtrip(self, frontend_db):
+        model = Model({"w": np.array([1.0, -2.0, 3.5]), "b": np.array([[1.0, 2.0], [3.0, 4.0]])})
+        save_model(frontend_db, "roundtrip", model)
+        assert model_exists(frontend_db, "roundtrip")
+        loaded = load_model(frontend_db, "roundtrip")
+        assert loaded.allclose(model)
+
+    def test_save_overwrites_existing(self, frontend_db):
+        save_model(frontend_db, "m", Model({"w": np.array([1.0])}))
+        save_model(frontend_db, "m", Model({"w": np.array([5.0, 6.0])}))
+        loaded = load_model(frontend_db, "m")
+        np.testing.assert_allclose(loaded["w"], [5.0, 6.0])
+
+    def test_model_tables_are_relations(self, frontend_db):
+        save_model(frontend_db, "relmodel", Model({"w": np.array([1.0, 2.0])}))
+        rows = frontend_db.execute("SELECT count(*) FROM relmodel").scalar()
+        assert rows == 2
+
+    def test_model_exists_false_for_missing(self, frontend_db):
+        assert not model_exists(frontend_db, "nothere")
+
+
+class TestTrainingFunctions:
+    def test_svmtrain_query_from_paper(self, frontend_db):
+        """The exact interaction from Section 2.1 of the paper."""
+        result = frontend_db.execute(
+            "SELECT SVMTrain('myModel', 'labeledpapers', 'vec', 'label')"
+        )
+        assert "myModel" in result.scalar()
+        assert model_exists(frontend_db, "myModel")
+        accuracy = frontend_db.execute(
+            "SELECT ClassifyAccuracy('myModel', 'labeledpapers', 'vec', 'label')"
+        ).scalar()
+        assert accuracy > 0.8
+
+    def test_lrtrain_and_predict(self, frontend_db):
+        frontend_db.execute("SELECT LRTrain('lrModel', 'labeledpapers', 'vec', 'label')")
+        message = frontend_db.execute(
+            "SELECT LRPredict('lrModel', 'labeledpapers', 'vec', 'scores')"
+        ).scalar()
+        assert "scored 150 rows" in message
+        assert frontend_db.has_table("scores")
+        scores = frontend_db.table("scores").column_values("score")
+        assert all(0.0 <= value <= 1.0 for value in scores)
+
+    def test_svmpredict_writes_decisions(self, frontend_db):
+        frontend_db.execute("SELECT SVMTrain('m2', 'labeledpapers', 'vec', 'label')")
+        message = frontend_db.execute(
+            "SELECT SVMPredict('m2', 'labeledpapers', 'vec', 'decisions')"
+        ).scalar()
+        assert "150 rows" in message
+        assert len(frontend_db.table("decisions")) == 150
+
+    def test_lassotrain(self, frontend_db):
+        frontend_db.execute(
+            "SELECT LassoTrain('lassoModel', 'labeledpapers', 'vec', 'label', 0.1)"
+        )
+        model = load_model(frontend_db, "lassoModel")
+        assert model["w"].shape == (6,)
+
+    def test_training_with_explicit_params(self, frontend_db):
+        message = frontend_db.execute(
+            "SELECT LRTrain('custom', 'labeledpapers', 'vec', 'label', 0.05, 3)"
+        ).scalar()
+        assert "epochs=3" in message
+
+    def test_sparse_training(self):
+        database = Database("postgres", seed=0)
+        sparse = make_sparse_classification(80, 40, nonzeros_per_example=5, seed=1)
+        load_classification_table(database, "sparse_docs", sparse.examples, sparse=True)
+        install_frontend(database)
+        database.execute("SELECT SVMTrain('sm', 'sparse_docs', 'vec', 'label')")
+        model = load_model(database, "sm")
+        assert model["w"].shape == (40,)
+
+    def test_lmftrain(self):
+        database = Database("postgres", seed=0)
+        ratings = make_ratings(30, 20, 300, rank=3, seed=2)
+        load_ratings_table(database, "ratings", ratings.examples)
+        install_frontend(database)
+        database.execute("SELECT LMFTrain('mf', 'ratings', 'row_id', 'col_id', 'rating', 3)")
+        model = load_model(database, "mf")
+        assert model["L"].shape == (30, 3)
+        assert model["R"].shape == (20, 3)
+        mean_prediction = database.execute(
+            "SELECT LMFPredict('mf', 'ratings', 'row_id', 'col_id')"
+        ).scalar()
+        assert np.isfinite(mean_prediction)
+
+    def test_crftrain(self):
+        database = Database("postgres", seed=0)
+        corpus = make_sequences(12, mean_length=6, num_labels=3, seed=3)
+        load_sequences_table(database, "sentences", corpus.examples)
+        install_frontend(database)
+        message = database.execute(
+            "SELECT CRFTrain('crfModel', 'sentences', 'tokens', 'labels', 0.2, 3)"
+        ).scalar()
+        assert "crfModel" in message
+        model = load_model(database, "crfModel")
+        assert "emission" in model and "transition" in model
+
+    def test_frontend_on_segmented_database(self):
+        database = SegmentedDatabase(4, "dbms_b", seed=0)
+        dense = make_dense_classification(100, 5, seed=4)
+        load_classification_table(database, "labeledpapers", dense.examples, sparse=False)
+        install_frontend(database)
+        result = database.execute("SELECT SVMTrain('pm', 'labeledpapers', 'vec', 'label')")
+        assert "pm" in result.scalar()
+        assert model_exists(database, "pm")

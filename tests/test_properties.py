@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Model, ReservoirSampler, project_to_simplex
+from repro.core.stepsize import DiminishingStepSize, GeometricStepSize
+from repro.db import ColumnType, Schema, Table
+from repro.db.aggregates import AvgAggregate, StddevAggregate, SumAggregate
+from repro.tasks import (
+    LogisticRegressionTask,
+    SVMTask,
+    SupervisedExample,
+    catx_closed_form_final,
+    catx_closed_form_iterates,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestAggregateProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=60), st.integers(min_value=1, max_value=59))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_merge_equals_serial(self, values, split):
+        split = min(split, len(values))
+        aggregate = SumAggregate()
+        serial = aggregate.run(values)
+        state_a = aggregate.initialize()
+        for value in values[:split]:
+            state_a = aggregate.transition(state_a, value)
+        state_b = aggregate.initialize()
+        for value in values[split:]:
+            state_b = aggregate.transition(state_b, value)
+        merged = aggregate.terminate(aggregate.merge(state_a, state_b))
+        assert merged == pytest.approx(serial, rel=1e-9, abs=1e-6)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=40), st.integers(min_value=1, max_value=39))
+    @settings(max_examples=50, deadline=None)
+    def test_stddev_merge_equals_serial(self, values, split):
+        split = min(split, len(values) - 1)
+        aggregate = StddevAggregate()
+        serial = aggregate.run(values)
+        state_a = aggregate.initialize()
+        for value in values[:split]:
+            state_a = aggregate.transition(state_a, value)
+        state_b = aggregate.initialize()
+        for value in values[split:]:
+            state_b = aggregate.transition(state_b, value)
+        merged = aggregate.terminate(aggregate.merge(state_a, state_b))
+        assert merged == pytest.approx(serial, rel=1e-6, abs=1e-6)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_avg_matches_numpy(self, values):
+        assert AvgAggregate().run(values) == pytest.approx(float(np.mean(values)), rel=1e-9, abs=1e-6)
+
+
+class TestSimplexProjectionProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_result_lies_on_simplex(self, values):
+        projected = project_to_simplex(np.array(values, dtype=np.float64))
+        assert projected.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(projected >= -1e-12)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_projection_is_idempotent(self, values):
+        vector = np.array(values)
+        vector /= vector.sum()
+        np.testing.assert_allclose(project_to_simplex(vector), vector, atol=1e-9)
+
+
+class TestReservoirProperties:
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=200),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_capacity(self, capacity, extra, seed):
+        total = capacity + extra
+        sampler = ReservoirSampler(capacity, np.random.default_rng(seed))
+        dropped = []
+        for item in range(total):
+            out = sampler.offer(item)
+            if out is not None:
+                dropped.append(out)
+        assert len(sampler) == min(capacity, total)
+        assert sorted(dropped + sampler.sample()) == list(range(total))
+        assert len(dropped) == max(0, total - capacity)
+
+
+class TestModelProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_flat_vector_roundtrip(self, values):
+        model = Model({"w": np.array(values)})
+        clone = model.zeros_like()
+        clone.load_flat_vector(model.as_flat_vector())
+        assert clone.allclose(model)
+
+    @given(
+        st.lists(finite_floats, min_size=3, max_size=3),
+        st.lists(finite_floats, min_size=3, max_size=3),
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_average_between_models(self, a_values, b_values, weight_a, weight_b):
+        a = Model({"w": np.array(a_values)})
+        b = Model({"w": np.array(b_values)})
+        average = Model.average([a, b], weights=[weight_a, weight_b])
+        lower = np.minimum(a["w"], b["w"]) - 1e-9
+        upper = np.maximum(a["w"], b["w"]) + 1e-9
+        assert np.all(average["w"] >= lower - 1e-6 * np.abs(lower))
+        assert np.all(average["w"] <= upper + 1e-6 * np.abs(upper))
+
+
+class TestStepSizeProperties:
+    @given(st.floats(min_value=1e-3, max_value=10.0), st.floats(min_value=0.1, max_value=1.0),
+           st.integers(min_value=0, max_value=10000))
+    @settings(max_examples=50, deadline=None)
+    def test_diminishing_is_positive_and_nonincreasing(self, alpha0, power, k):
+        schedule = DiminishingStepSize(alpha0=alpha0, power=power)
+        value = schedule.step_size(k, 0)
+        next_value = schedule.step_size(k + 1, 0)
+        assert value > 0
+        assert next_value <= value
+
+    @given(st.floats(min_value=1e-3, max_value=10.0), st.floats(min_value=0.5, max_value=0.99),
+           st.integers(min_value=0, max_value=300))
+    @settings(max_examples=50, deadline=None)
+    def test_geometric_is_nonincreasing_and_nonnegative(self, alpha0, rho, k):
+        schedule = GeometricStepSize(alpha0=alpha0, rho=rho)
+        current = schedule.step_size(k, 0)
+        following = schedule.step_size(k + 1, 0)
+        assert 0 <= following <= current
+
+
+class TestCATXClosedFormProperties:
+    @given(st.integers(min_value=1, max_value=50), st.floats(min_value=0.01, max_value=0.9),
+           st.floats(min_value=-2.0, max_value=2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_recursion_matches_closed_form(self, n, alpha, w0):
+        labels = [1.0] * n + [-1.0] * n
+        iterates = catx_closed_form_iterates(labels, w0=w0, alpha=alpha)
+        final = catx_closed_form_final(labels, w0=w0, alpha=alpha)
+        assert iterates[-1] == pytest.approx(final, rel=1e-9, abs=1e-9)
+
+    @given(st.floats(min_value=0.01, max_value=0.5), st.floats(min_value=-1.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_iterates_stay_bounded(self, alpha, w0):
+        labels = ([1.0] * 20 + [-1.0] * 20) * 3
+        iterates = catx_closed_form_iterates(labels, w0=w0, alpha=alpha)
+        assert np.all(np.abs(iterates) <= max(1.0, abs(w0)) + 1e-9)
+
+
+class TestTaskInvariantProperties:
+    @given(
+        st.lists(st.floats(min_value=-3.0, max_value=3.0), min_size=4, max_size=4),
+        st.sampled_from([1.0, -1.0]),
+        st.floats(min_value=0.001, max_value=0.5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lr_single_step_never_increases_that_examples_loss(self, features, label, alpha):
+        task = LogisticRegressionTask(4)
+        model = task.initial_model()
+        example = SupervisedExample(np.array(features), label)
+        before = task.loss(model, example)
+        task.gradient_step(model, example, alpha)
+        after = task.loss(model, example)
+        assert after <= before + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=-3.0, max_value=3.0), min_size=4, max_size=4),
+        st.sampled_from([1.0, -1.0]),
+        st.floats(min_value=0.001, max_value=0.3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_svm_step_never_increases_that_examples_loss(self, features, label, alpha):
+        task = SVMTask(4)
+        model = task.initial_model()
+        example = SupervisedExample(np.array(features), label)
+        before = task.loss(model, example)
+        task.gradient_step(model, example, alpha)
+        assert task.loss(model, example) <= before + 1e-9
+
+
+class TestSchemaCoercionProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=-1000, max_value=1000), finite_floats),
+                    min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_table_roundtrips_rows(self, rows):
+        schema = Schema.of(("id", ColumnType.INTEGER), ("value", ColumnType.FLOAT))
+        table = Table("t", schema, page_size=7)
+        table.insert_many(rows)
+        scanned = [(row["id"], row["value"]) for row in table.scan()]
+        assert scanned == [(int(i), float(v)) for i, v in rows]
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=100), finite_floats),
+                    min_size=1, max_size=50),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_shuffle_preserves_row_multiset(self, rows, seed):
+        schema = Schema.of(("id", ColumnType.INTEGER), ("value", ColumnType.FLOAT))
+        table = Table("t", schema, page_size=5)
+        table.insert_many(rows)
+        before = sorted(table.scan_values())
+        table.shuffle(seed=seed)
+        assert sorted(table.scan_values()) == before

@@ -1,0 +1,114 @@
+"""Dump per-figure benchmark timings to ``BENCH_<n>.json``.
+
+Runs each experiment regeneration function once at the given scale, times it,
+and (optionally) times the full tier-1 suite, so every PR leaves a comparable
+perf snapshot behind::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --pr 2 --tier1
+
+Compare against the previous PR's ``BENCH_<n-1>.json`` to see the perf
+trajectory.  Timings are single-shot wall-clock on whatever machine CI / the
+developer runs them on — they are for *trajectory*, not absolute claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _figures(scale: str) -> dict:
+    """(name -> zero-argument callable) for every regenerable figure/table."""
+    from repro.experiments import (
+        run_benchmark_comparison,
+        run_catx_experiment,
+        run_crf_comparison,
+        run_data_ordering_experiment,
+        run_datasets_table,
+        run_mrs_convergence,
+        run_overhead_table,
+        run_parallel_convergence,
+        run_scalability_experiment,
+        run_speedup_experiment,
+    )
+
+    return {
+        "table1_datasets": lambda: run_datasets_table(scale),
+        "table2_pure_uda_overhead": lambda: run_overhead_table("pure_uda", scale),
+        "table3_shmem_overhead": lambda: run_overhead_table("shared_memory", scale),
+        "table4_scalability": lambda: run_scalability_experiment(scale),
+        "fig5_catx": lambda: run_catx_experiment(),
+        "fig7a_comparison": lambda: run_benchmark_comparison(scale),
+        "fig7b_crf": lambda: run_crf_comparison(scale),
+        "fig8_ordering": lambda: run_data_ordering_experiment(scale),
+        "fig9a_parallel": lambda: run_parallel_convergence(scale),
+        "fig9b_speedup": lambda: run_speedup_experiment(scale),
+        "fig10a_mrs": lambda: run_mrs_convergence(scale),
+    }
+
+
+def time_tier1() -> float:
+    """Wall-clock of one full tier-1 run (the acceptance metric)."""
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=REPO_ROOT,
+        check=True,
+        capture_output=True,
+        env={**__import__("os").environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pr", type=int, default=1, help="PR number for BENCH_<n>.json")
+    parser.add_argument("--scale", default="small", help="experiment scale (small/medium/full)")
+    parser.add_argument("--output", default=None, help="explicit output path")
+    parser.add_argument(
+        "--tier1", action="store_true", help="also time the full tier-1 suite (slow)"
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="subset of figure names to run"
+    )
+    args = parser.parse_args()
+
+    figures = _figures(args.scale)
+    if args.only:
+        unknown = set(args.only) - set(figures)
+        if unknown:
+            parser.error(f"unknown figures: {sorted(unknown)}; known: {sorted(figures)}")
+        figures = {name: figures[name] for name in args.only}
+
+    timings: dict[str, float] = {}
+    for name, runner in figures.items():
+        start = time.perf_counter()
+        runner()
+        timings[name] = round(time.perf_counter() - start, 4)
+        print(f"{name:28s} {timings[name]:8.3f}s", flush=True)
+
+    payload = {
+        "pr": args.pr,
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "figure_seconds": timings,
+        "figure_total_seconds": round(sum(timings.values()), 4),
+    }
+    if args.tier1:
+        payload["tier1_seconds"] = round(time_tier1(), 2)
+        print(f"{'tier1 (pytest -x -q)':28s} {payload['tier1_seconds']:8.2f}s")
+
+    output = Path(args.output) if args.output else REPO_ROOT / f"BENCH_{args.pr}.json"
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

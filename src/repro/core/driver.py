@@ -45,6 +45,33 @@ class IGDConfig:
     #: Whether to evaluate the objective after every epoch (needed by most
     #: stopping rules; can be disabled for pure-throughput measurements).
     compute_objective: bool = True
+    #: Execution path for serial epochs and loss passes: "auto" uses the
+    #: chunked columnar fast path (cached decoded examples, vectorized loss,
+    #: engine overhead charged per chunk) whenever the task and table support
+    #: it, falling back to per-tuple otherwise; "per_tuple" forces the paper's
+    #: tuple-at-a-time UDA protocol; "chunked" requires the fast path and
+    #: errors if it is unavailable.  Exact IGD (batch_size == 1) produces
+    #: bit-for-bit identical models on either path.
+    execution: str = "auto"
+    #: Mini-batch size.  1 (default) is the paper's exact IGD: one gradient
+    #: step per tuple.  B > 1 is opt-in mini-batch SGD — one averaged-gradient
+    #: step per B examples — and requires the chunked path.
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.execution not in ("auto", "per_tuple", "chunked"):
+            raise ValueError(f"unknown execution mode {self.execution!r}")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.batch_size > 1 and self.execution == "per_tuple":
+            raise ValueError("mini-batch IGD (batch_size > 1) requires the chunked path")
+        if self.batch_size > 1 and self.parallelism is not None:
+            raise ValueError("mini-batch IGD is only implemented for serial execution")
+        if self.batch_size > 1:
+            # "auto" would silently fall back to per-tuple on an unbatchable
+            # workload and then die mid-epoch; mini-batch runs must instead
+            # fail fast at the aggregation entry point.
+            self.execution = "chunked"
 
     def resolved_stopping(self) -> StoppingRule:
         return make_stopping_rule(self.stopping, max_epochs=self.max_epochs)
@@ -236,6 +263,7 @@ class BismarckRunner:
             proximal=proximal,
             epoch=epoch,
             step_offset=step_offset,
+            batch_size=self.config.batch_size,
         )
 
         if isinstance(spec, PureUDAParallelism):
@@ -257,11 +285,13 @@ class BismarckRunner:
             steps = int(updated.metadata.get("gradient_steps", len(table))) - step_offset
             return updated, max(steps, 0)
 
-        # Serial in-RDBMS run: one UDA invocation over the table.
+        # Serial in-RDBMS run: one UDA invocation over the table, on the
+        # configured execution path (chunked columnar when supported).
         if isinstance(self.database, SegmentedDatabase):
-            updated = self.database.master.run_aggregate(table_name, aggregate)
+            engine = self.database.master
         else:
-            updated = self.database.run_aggregate(table_name, aggregate)
+            engine = self.database
+        updated = engine.run_aggregate(table_name, aggregate, execution=self.config.execution)
         steps = int(updated.metadata.get("gradient_steps", len(table))) - step_offset
         return updated, max(steps, 0)
 
@@ -270,9 +300,15 @@ class BismarckRunner:
     ) -> float:
         loss_aggregate = LossAggregate(self.task, model)
         if isinstance(self.database, SegmentedDatabase):
-            data_term = self.database.master.run_aggregate(table_name, loss_aggregate)
+            engine = self.database.master
         else:
-            data_term = self.database.run_aggregate(table_name, loss_aggregate)
+            engine = self.database
+        # The loss pass rides the same execution path as training; the shared
+        # example cache is keyed on the table's version, so any shuffle or
+        # re-clustering between epochs busts it automatically.
+        data_term = engine.run_aggregate(
+            table_name, loss_aggregate, execution=self.config.execution
+        )
         return float(data_term) + proximal.penalty(model)
 
 

@@ -12,12 +12,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 class StepSizeSchedule:
     """Base class: maps a (0-based) gradient-step index and epoch to a step size."""
 
     def step_size(self, step_index: int, epoch: int) -> float:
         raise NotImplementedError
+
+    def step_sizes(self, start_index: int, count: int, epoch: int) -> np.ndarray:
+        """Step sizes for ``count`` consecutive steps starting at ``start_index``.
+
+        The default materialises per-step calls so the array is bit-identical
+        to the per-tuple sequence; constant-per-epoch schedules override this
+        with a single fill.
+        """
+        return np.array(
+            [self.step_size(start_index + i, epoch) for i in range(count)], dtype=np.float64
+        )
 
     def describe(self) -> str:
         return type(self).__name__
@@ -35,6 +48,9 @@ class ConstantStepSize(StepSizeSchedule):
 
     def step_size(self, step_index: int, epoch: int) -> float:
         return self.alpha
+
+    def step_sizes(self, start_index: int, count: int, epoch: int) -> np.ndarray:
+        return np.full(count, self.alpha)
 
     def describe(self) -> str:
         return f"constant(alpha={self.alpha})"
@@ -104,6 +120,9 @@ class EpochDecayStepSize(StepSizeSchedule):
 
     def step_size(self, step_index: int, epoch: int) -> float:
         return self.alpha0 * self.decay ** epoch
+
+    def step_sizes(self, start_index: int, count: int, epoch: int) -> np.ndarray:
+        return np.full(count, self.alpha0 * self.decay ** epoch)
 
     def describe(self) -> str:
         return f"epoch_decay(alpha0={self.alpha0}, decay={self.decay})"

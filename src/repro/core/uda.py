@@ -22,8 +22,9 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..db.aggregates import UserDefinedAggregate
+from ..db.errors import ExecutionError
 from ..db.types import Row
-from ..tasks.base import Task
+from ..tasks.base import ExampleBatch, Task
 from .model import Model
 from .proximal import ProximalOperator
 from .stepsize import StepSizeSchedule, make_schedule
@@ -60,13 +61,29 @@ class IGDAggregate(UserDefinedAggregate):
         proximal: ProximalOperator | None = None,
         epoch: int = 0,
         step_offset: int = 0,
+        batch_size: int = 1,
     ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         self.task = task
         self.schedule = make_schedule(step_size)
         self.initial_model = initial_model
         self.proximal = proximal if proximal is not None else task.proximal
         self.epoch = epoch
         self.step_offset = step_offset
+        #: Mini-batch size for the chunked path.  1 (the default) runs exact
+        #: IGD — one gradient step per tuple, bit-for-bit the per-tuple path.
+        #: B > 1 takes one averaged-gradient step per B examples (mini-batch
+        #: SGD), which only the chunked path implements.
+        self.batch_size = batch_size
+
+    @property
+    def supports_chunks(self) -> bool:
+        return self.task.supports_batches
+
+    @property
+    def chunk_decoder(self) -> Task:
+        return self.task
 
     # ---------------------------------------------------------- UDA contract
     def initialize(self) -> IGDState:
@@ -79,12 +96,45 @@ class IGDAggregate(UserDefinedAggregate):
         )
 
     def transition(self, state: IGDState, row: Row | Any) -> IGDState:
+        if self.batch_size > 1:
+            raise ExecutionError(
+                "mini-batch IGD (batch_size > 1) requires the chunked execution "
+                "path; run with execution='chunked' on a batchable task/table"
+            )
         example = self._to_example(row)
         step_index = state.step_offset + state.gradient_steps
         alpha = self.schedule.step_size(step_index, state.epoch)
         self.task.gradient_step(state.model, example, alpha)
         self.proximal.apply(state.model, alpha)
         state.gradient_steps += 1
+        return state
+
+    def transition_chunk(self, state: IGDState, batch: ExampleBatch) -> IGDState:
+        """One chunk of gradient steps over cached, pre-decoded examples.
+
+        With ``batch_size == 1`` this runs the task's sequential exact-IGD
+        kernel with a precomputed per-step ``alpha`` array — bit-for-bit the
+        models the per-tuple path produces.  With ``batch_size == B > 1`` it
+        takes one averaged-gradient step per B consecutive examples
+        (mini-batches never straddle chunk boundaries; a chunk's tail batch
+        may be short).
+        """
+        n = len(batch)
+        if n == 0:
+            return state
+        if self.batch_size == 1:
+            start_index = state.step_offset + state.gradient_steps
+            alphas = self.schedule.step_sizes(start_index, n, state.epoch)
+            self.task.igd_chunk(state.model, batch, alphas, self.proximal)
+            state.gradient_steps += n
+            return state
+        for start in range(0, n, self.batch_size):
+            stop = min(start + self.batch_size, n)
+            step_index = state.step_offset + state.gradient_steps
+            alpha = self.schedule.step_size(step_index, state.epoch)
+            self.task.minibatch_step(state.model, batch, start, stop, alpha)
+            self.proximal.apply(state.model, alpha)
+            state.gradient_steps += 1
         return state
 
     def merge(self, state_a: IGDState, state_b: IGDState) -> IGDState:
@@ -129,6 +179,7 @@ class IGDAggregate(UserDefinedAggregate):
             proximal=self.proximal,
             epoch=epoch,
             step_offset=step_offset,
+            batch_size=self.batch_size,
         )
 
 
@@ -146,6 +197,14 @@ class LossAggregate(UserDefinedAggregate):
         self.task = task
         self.model = model
 
+    @property
+    def supports_chunks(self) -> bool:
+        return self.task.supports_batches
+
+    @property
+    def chunk_decoder(self) -> Task:
+        return self.task
+
     def initialize(self) -> tuple[float, int]:
         return (0.0, 0)
 
@@ -153,6 +212,10 @@ class LossAggregate(UserDefinedAggregate):
         example = row if not isinstance(row, Row) else self.task.example_from_row(row)
         total, count = state
         return (total + self.task.loss(self.model, example), count + 1)
+
+    def transition_chunk(self, state: tuple[float, int], batch: ExampleBatch) -> tuple[float, int]:
+        total, count = state
+        return (total + self.task.batch_loss(self.model, batch), count + len(batch))
 
     def merge(self, state_a: tuple[float, int], state_b: tuple[float, int]) -> tuple[float, int]:
         return (state_a[0] + state_b[0], state_a[1] + state_b[1])
@@ -179,6 +242,14 @@ class AccuracyAggregate(UserDefinedAggregate):
         self.task = task
         self.model = model
 
+    @property
+    def supports_chunks(self) -> bool:
+        return self.task.supports_batches
+
+    @property
+    def chunk_decoder(self) -> Task:
+        return self.task
+
     def initialize(self) -> tuple[int, int]:
         return (0, 0)
 
@@ -189,6 +260,10 @@ class AccuracyAggregate(UserDefinedAggregate):
         if predicted == (1 if example.label > 0 else -1):
             correct += 1
         return (correct, total + 1)
+
+    def transition_chunk(self, state: tuple[int, int], batch: ExampleBatch) -> tuple[int, int]:
+        correct, total = state
+        return (correct + self.task.batch_correct(self.model, batch), total + len(batch))
 
     def merge(self, state_a: tuple[int, int], state_b: tuple[int, int]) -> tuple[int, int]:
         return (state_a[0] + state_b[0], state_a[1] + state_b[1])

@@ -51,8 +51,7 @@ def load_classification_table(
         (label_column, ColumnType.FLOAT),
     )
     table = Table(name, schema)
-    for i, example in enumerate(examples):
-        table.insert((i, example.features, example.label))
+    table.insert_many((i, example.features, example.label) for i, example in enumerate(examples))
     return _register(database, table, replace)
 
 
@@ -68,8 +67,9 @@ def load_catx_table(
         ("id", ColumnType.INTEGER), ("x", ColumnType.FLOAT), ("y", ColumnType.FLOAT)
     )
     table = Table(name, schema)
-    for i, example in enumerate(examples):
-        table.insert((i, float(example.features), example.label))
+    table.insert_many(
+        (i, float(example.features), example.label) for i, example in enumerate(examples)
+    )
     return _register(database, table, replace)
 
 
@@ -87,8 +87,7 @@ def load_ratings_table(
         ("rating", ColumnType.FLOAT),
     )
     table = Table(name, schema)
-    for example in examples:
-        table.insert((example.row, example.col, example.value))
+    table.insert_many((example.row, example.col, example.value) for example in examples)
     return _register(database, table, replace)
 
 
@@ -106,9 +105,9 @@ def load_sequences_table(
         ("labels", ColumnType.TEXT),
     )
     table = Table(name, schema)
-    for i, example in enumerate(examples):
-        tokens, labels = encode_sequence_for_storage(example)
-        table.insert((i, tokens, labels))
+    table.insert_many(
+        (i, *encode_sequence_for_storage(example)) for i, example in enumerate(examples)
+    )
     return _register(database, table, replace)
 
 
@@ -122,8 +121,7 @@ def load_timeseries_table(
     """Load observations as (t, y FLOAT_ARRAY)."""
     schema = Schema.of(("t", ColumnType.INTEGER), ("y", ColumnType.FLOAT_ARRAY))
     table = Table(name, schema)
-    for example in examples:
-        table.insert((example.time_index, example.observation))
+    table.insert_many((example.time_index, example.observation) for example in examples)
     return _register(database, table, replace)
 
 
@@ -137,6 +135,5 @@ def load_returns_table(
     """Load asset return samples as (id, returns FLOAT_ARRAY)."""
     schema = Schema.of(("id", ColumnType.INTEGER), ("returns", ColumnType.FLOAT_ARRAY))
     table = Table(name, schema)
-    for i, example in enumerate(examples):
-        table.insert((i, example.returns))
+    table.insert_many((i, example.returns) for i, example in enumerate(examples))
     return _register(database, table, replace)

@@ -49,11 +49,28 @@ class UserDefinedAggregate:
     #: on engines with expensive model passing (the paper's "DBMS A").
     state_passing_units: float = 0.0
 
+    #: Chunked-execution contract.  Aggregates that can consume a whole
+    #: decoded :class:`~repro.tasks.base.ExampleBatch` per call set
+    #: ``supports_chunks`` (usually a property consulting the task) and expose
+    #: the decoding task via ``chunk_decoder`` so the executor can key its
+    #: example cache on it; ``transition_chunk`` then replaces a run of
+    #: per-tuple ``transition`` calls.  The engine charges its per-tuple /
+    #: model-passing overhead once per *chunk* on this path — the
+    #: function-call boundary is crossed per batch, which is exactly why
+    #: batch-at-a-time execution is fast.
+    supports_chunks: bool = False
+    chunk_decoder: Any = None
+
     def initialize(self) -> Any:
         raise NotImplementedError
 
     def transition(self, state: Any, value: Any) -> Any:
         raise NotImplementedError
+
+    def transition_chunk(self, state: Any, batch: Any) -> Any:
+        raise ExecutionError(
+            f"aggregate {type(self).__name__} does not support transition_chunk()"
+        )
 
     def merge(self, state_a: Any, state_b: Any) -> Any:
         raise ExecutionError(

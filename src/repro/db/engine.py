@@ -199,12 +199,15 @@ class Database:
         *,
         where: Expression | None = None,
         row_order: Sequence[int] | None = None,
+        execution: str = "per_tuple",
     ) -> Any:
         """Run a UDA over a table directly (bypassing SQL), honouring the
-        engine's per-tuple cost model and an optional explicit row order."""
+        engine's per-tuple cost model and an optional explicit row order.
+        ``execution`` selects per-tuple vs chunked columnar aggregation (see
+        :meth:`Executor.run_aggregate`)."""
         table = self.table(table_name)
         return self.executor.run_aggregate(
-            table, aggregate, argument, where=where, row_order=row_order
+            table, aggregate, argument, where=where, row_order=row_order, execution=execution
         )
 
     # ------------------------------------------------------------------ misc

@@ -16,9 +16,83 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from .errors import SchemaError
-from .types import Row, Schema
+from .types import ColumnType, Row, Schema
 
 DEFAULT_PAGE_SIZE = 256
+#: Default number of rows per columnar chunk yielded by :meth:`Table.scan_chunks`.
+DEFAULT_CHUNK_SIZE = 4096
+
+#: Logical column types that materialise as typed (non-object) numpy arrays.
+_CHUNK_DTYPES = {
+    ColumnType.FLOAT: np.float64,
+    ColumnType.INTEGER: np.int64,
+    ColumnType.BOOLEAN: np.bool_,
+}
+
+
+class TableChunk:
+    """A columnar view of a contiguous run of heap rows.
+
+    Chunks are the unit of the batch-at-a-time execution path: instead of one
+    :class:`Row` per tuple, consumers get per-column numpy arrays for a block
+    of ``len(chunk)`` rows.  Scalar columns (FLOAT / INTEGER / BOOLEAN)
+    materialise as typed arrays; everything else (feature vectors, sparse
+    maps, text) as object arrays.  Column arrays are built lazily on first
+    access so scans that only touch two of five columns never pay for the
+    rest.
+
+    ``table_name`` / ``table_version`` identify the exact table state the
+    chunk was cut from, which is what example caches key on.
+    """
+
+    __slots__ = ("schema", "table_name", "table_version", "start", "_rows", "_columns")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: list[tuple],
+        *,
+        table_name: str = "",
+        table_version: int = 0,
+        start: int = 0,
+    ):
+        self.schema = schema
+        self.table_name = table_name
+        self.table_version = table_version
+        #: Ordinal (0-based, physical order) of the chunk's first row.
+        self.start = start
+        self._rows = rows
+        self._columns: dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def column(self, name: str) -> np.ndarray:
+        """Materialise one column of the chunk as a numpy array (cached)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            pass
+        index = self.schema.index_of(name)
+        values = [row[index] for row in self._rows]
+        dtype = _CHUNK_DTYPES.get(self.schema.columns[index].type)
+        if dtype is not None:
+            array = np.array(values, dtype=dtype)
+        else:
+            array = np.empty(len(values), dtype=object)
+            array[:] = values
+        self._columns[name] = array
+        return array
+
+    def row_values(self) -> list[tuple]:
+        """The chunk's raw value tuples (physical order)."""
+        return self._rows
+
+    def __repr__(self) -> str:
+        return (
+            f"TableChunk(table={self.table_name!r}, start={self.start}, "
+            f"rows={len(self._rows)})"
+        )
 
 
 class Table:
@@ -36,6 +110,15 @@ class Table:
         # clustering key, useful for tests and the experiment harness.
         self.scan_count = 0
         self.clustered_on: str | None = None
+        #: Monotonic mutation counter.  Every operation that changes the
+        #: table's contents *or physical order* (insert, truncate, shuffle,
+        #: cluster) bumps it, so ``(name, version)`` identifies an exact table
+        #: state and downstream example caches can never serve stale data.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        return self._version
 
     # ------------------------------------------------------------------ write
     def insert(self, values: Sequence[Any] | Mapping[str, Any]) -> None:
@@ -46,20 +129,32 @@ class Table:
         self._pages[-1].append(row)
         self._num_rows += 1
         self.clustered_on = None
+        self._version += 1
 
     def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
-        """Insert many rows; returns the number inserted."""
-        count = 0
-        for values in rows:
-            self.insert(values)
-            count += 1
-        return count
+        """Insert many rows with batched page appends; returns the number inserted."""
+        coerce_row = self.schema.coerce_row
+        coerced = [coerce_row(values) for values in rows]
+        if not coerced:
+            return 0
+        remaining = coerced
+        if self._pages and len(self._pages[-1]) < self.page_size:
+            space = self.page_size - len(self._pages[-1])
+            self._pages[-1].extend(remaining[:space])
+            remaining = remaining[space:]
+        for start in range(0, len(remaining), self.page_size):
+            self._pages.append(remaining[start:start + self.page_size])
+        self._num_rows += len(coerced)
+        self.clustered_on = None
+        self._version += 1
+        return len(coerced)
 
     def truncate(self) -> None:
         """Remove all rows."""
         self._pages = []
         self._num_rows = 0
         self.clustered_on = None
+        self._version += 1
 
     # ------------------------------------------------------------------- read
     def __len__(self) -> int:
@@ -82,6 +177,46 @@ class Table:
         self.scan_count += 1
         for page in self._pages:
             yield from page
+
+    def scan_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[TableChunk]:
+        """Yield columnar :class:`TableChunk` blocks in physical order.
+
+        Counts as exactly one scan regardless of how many chunks are yielded.
+        """
+        self.scan_count += 1
+        yield from self.iter_chunks(chunk_size)
+
+    def iter_chunks(self, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[TableChunk]:
+        """Chunk iteration without touching the scan statistics.
+
+        Used by the executor's chunked path, which counts one logical scan per
+        aggregate pass itself (cached passes never re-read the heap, but still
+        count as a scan of the table's data).
+        """
+        if chunk_size <= 0:
+            raise SchemaError("chunk_size must be positive")
+        buffer: list[tuple] = []
+        start = 0
+        for page in self._pages:
+            buffer.extend(page)
+            while len(buffer) >= chunk_size:
+                block, buffer = buffer[:chunk_size], buffer[chunk_size:]
+                yield TableChunk(
+                    self.schema,
+                    block,
+                    table_name=self.name,
+                    table_version=self._version,
+                    start=start,
+                )
+                start += chunk_size
+        if buffer:
+            yield TableChunk(
+                self.schema,
+                buffer,
+                table_name=self.name,
+                table_version=self._version,
+                start=start,
+            )
 
     def row_at(self, index: int) -> Row:
         """Random access by row ordinal (0-based, physical order)."""
@@ -112,6 +247,7 @@ class Table:
             pages.append(list(value_tuples[start:start + self.page_size]))
         self._pages = pages
         self._num_rows = len(value_tuples)
+        self._version += 1
 
     def cluster_by(self, column: str, *, descending: bool = False) -> None:
         """Physically re-order the heap by a column (like SQL ``CLUSTER``)."""
@@ -149,6 +285,7 @@ class Table:
         clone._pages = [list(page) for page in self._pages]
         clone._num_rows = self._num_rows
         clone.clustered_on = self.clustered_on
+        clone._version = self._version
         return clone
 
     # ------------------------------------------------------------ partitioning

@@ -14,7 +14,8 @@ is shared.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+import weakref
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 import numpy as np
 
@@ -22,24 +23,46 @@ from ..core.model import Model
 from ..core.proximal import IdentityProximal, ProximalOperator
 from ..db.types import Row
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (db.table imports types only)
+    from ..db.table import Table, TableChunk
+
 # ---------------------------------------------------------------------------
 # Sparse/dense feature helpers (the Dot_Product / Scale_And_Add of Figure 4)
 # ---------------------------------------------------------------------------
 FeatureVector = "np.ndarray | Mapping[int, float]"
 
 
+def sparse_arrays(features: Mapping[int, float]) -> tuple[np.ndarray, np.ndarray]:
+    """Index/value arrays of a sparse mapping, in its iteration order.
+
+    The array form costs more than a pure-Python loop below ~20 nonzeros but
+    wins beyond it, and — more importantly — makes the per-tuple sparse ops
+    the *same float operations* as the chunked CSR kernels, which is what
+    keeps the two execution paths bit-for-bit identical.
+    """
+    count = len(features)
+    indices = np.fromiter(features.keys(), dtype=np.intp, count=count)
+    values = np.fromiter(features.values(), dtype=np.float64, count=count)
+    return indices, values
+
+
 def dot_product(weights: np.ndarray, features: Any) -> float:
     """``w . x`` for dense (ndarray) or sparse (index->value mapping) features."""
     if isinstance(features, Mapping):
-        return float(sum(weights[index] * value for index, value in features.items()))
+        if not features:
+            return 0.0
+        indices, values = sparse_arrays(features)
+        return float(np.dot(weights[indices], values))
     return float(np.dot(weights, features))
 
 
 def scale_and_add(weights: np.ndarray, features: Any, scalar: float) -> None:
     """``w += scalar * x`` in place, for dense or sparse features."""
     if isinstance(features, Mapping):
-        for index, value in features.items():
-            weights[index] += scalar * value
+        if not features:
+            return
+        indices, values = sparse_arrays(features)
+        weights[indices] += scalar * values
     else:
         weights += scalar * features
 
@@ -51,11 +74,244 @@ def feature_dimension(features: Any) -> int:
     return int(np.asarray(features).shape[0])
 
 
+# ---------------------------------------------------------------------------
+# Columnar example batches (the decoded form of a TableChunk)
+# ---------------------------------------------------------------------------
+class ExampleBatch:
+    """A block of decoded training examples in columnar form.
+
+    Dense feature vectors materialise as one ``(n, d)`` matrix ``X``; sparse
+    mappings as CSR-style ``indptr`` / ``indices`` / ``data`` arrays.  Labels
+    are a single ``(n,)`` vector ``y``.  The exact-IGD kernels walk rows
+    through :meth:`row_dot` / :meth:`add_scaled_row` (bit-for-bit the same
+    float operations as the per-tuple path, minus the Row/decoding overhead),
+    while the loss/accuracy/mini-batch kernels use the fully vectorized
+    :meth:`decision_values` / :meth:`add_scaled_rows`.
+    """
+
+    __slots__ = ("kind", "X", "y", "indptr", "indices", "data", "dimension", "length")
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        y: np.ndarray,
+        dimension: int,
+        X: np.ndarray | None = None,
+        indptr: np.ndarray | None = None,
+        indices: np.ndarray | None = None,
+        data: np.ndarray | None = None,
+    ):
+        if kind not in ("dense", "sparse"):
+            raise ValueError(f"unknown batch kind {kind!r}")
+        self.kind = kind
+        self.X = X
+        self.y = y
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.dimension = dimension
+        self.length = int(y.shape[0])
+
+    def __len__(self) -> int:
+        return self.length
+
+    # ----------------------------------------------------- vectorized kernels
+    def decision_values(self, w: np.ndarray, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """``X[start:stop] @ w`` for dense or sparse rows."""
+        stop = self.length if stop is None else stop
+        if self.kind == "dense":
+            return self.X[start:stop] @ w
+        lo, hi = int(self.indptr[start]), int(self.indptr[stop])
+        result = np.zeros(stop - start)
+        if hi > lo:
+            products = w[self.indices[lo:hi]] * self.data[lo:hi]
+            starts = np.asarray(self.indptr[start:stop] - lo, dtype=np.intp)
+            counts = np.diff(self.indptr[start:stop + 1])
+            # reduceat mis-handles zero-width segments (repeated or
+            # out-of-range start indices), so reduce over the non-empty rows
+            # only: their starts are strictly increasing and each segment runs
+            # to the next non-empty start, which is exactly that row's entries.
+            nonempty = counts > 0
+            result[nonempty] = np.add.reduceat(products, starts[nonempty])
+        return result
+
+    def add_scaled_rows(
+        self, w: np.ndarray, coefficients: np.ndarray, start: int = 0, stop: int | None = None
+    ) -> None:
+        """``w += sum_i coefficients[i] * x_i`` over rows ``start..stop``."""
+        stop = self.length if stop is None else stop
+        if self.kind == "dense":
+            w += coefficients @ self.X[start:stop]
+            return
+        lo, hi = int(self.indptr[start]), int(self.indptr[stop])
+        if hi > lo:
+            counts = np.diff(self.indptr[start:stop + 1])
+            per_entry = np.repeat(coefficients, counts)
+            np.add.at(w, self.indices[lo:hi], per_entry * self.data[lo:hi])
+
+    # ------------------------------------------------------ exact row kernels
+    def row_dot(self, w: np.ndarray, i: int) -> float:
+        """``w . x_i`` with the same float ops as the per-tuple path."""
+        if self.kind == "dense":
+            return float(np.dot(w, self.X[i]))
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        if hi == lo:
+            return 0.0
+        return float(np.dot(w[self.indices[lo:hi]], self.data[lo:hi]))
+
+    def add_scaled_row(self, w: np.ndarray, i: int, scalar: float) -> None:
+        """``w += scalar * x_i`` with the same float ops as the per-tuple path."""
+        if self.kind == "dense":
+            w += scalar * self.X[i]
+            return
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        if hi > lo:
+            w[self.indices[lo:hi]] += scalar * self.data[lo:hi]
+
+    def __repr__(self) -> str:
+        return f"ExampleBatch(kind={self.kind!r}, rows={self.length}, dim={self.dimension})"
+
+
+def make_example_batch(
+    features: np.ndarray, labels: np.ndarray, dimension: int
+) -> ExampleBatch | None:
+    """Build an :class:`ExampleBatch` from a chunk's feature/label columns.
+
+    ``features`` is the raw column array: a numeric array for scalar features
+    (the 1-D CA-TX layout, treated as ``(n, 1)`` dense), or an object array of
+    per-row ndarrays (dense) or index->value mappings (sparse).  Returns
+    ``None`` when the column cannot be batched (mixed or exotic feature
+    types), signalling the caller to fall back to per-tuple execution.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    n = labels.shape[0]
+    if n == 0:
+        return ExampleBatch("dense", X=np.zeros((0, dimension)), y=labels, dimension=dimension)
+    if features.dtype != object:
+        X = np.asarray(features, dtype=np.float64).reshape(n, 1)
+        return ExampleBatch("dense", X=X, y=labels, dimension=dimension)
+    first = features[0]
+    if isinstance(first, np.ndarray):
+        rows = list(features)
+        if not all(isinstance(row, np.ndarray) and row.ndim == 1 for row in rows):
+            return None
+        try:
+            X = np.stack(rows).astype(np.float64, copy=False)
+        except ValueError:
+            return None
+        return ExampleBatch("dense", X=X, y=labels, dimension=dimension)
+    if isinstance(first, Mapping):
+        if not all(isinstance(row, Mapping) for row in features):
+            return None
+        counts = np.fromiter((len(row) for row in features), dtype=np.intp, count=n)
+        indptr = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=np.intp)
+        data = np.empty(total, dtype=np.float64)
+        for i, row in enumerate(features):
+            lo, hi = indptr[i], indptr[i + 1]
+            if hi > lo:
+                indices[lo:hi] = np.fromiter(row.keys(), dtype=np.intp, count=hi - lo)
+                data[lo:hi] = np.fromiter(row.values(), dtype=np.float64, count=hi - lo)
+        return ExampleBatch(
+            "sparse", indptr=indptr, indices=indices, data=data, y=labels, dimension=dimension
+        )
+    return None
+
+
+class _CacheEntry:
+    __slots__ = ("table_ref", "version", "batches", "task")
+
+    def __init__(
+        self,
+        table: "Table",
+        version: int,
+        batches: "list[ExampleBatch] | None",
+        task: "Task",
+    ):
+        # A weak reference: entries must be bound to the exact Table object
+        # (a dropped-and-recreated table of the same name starts its own
+        # version sequence, so the name+version pair alone is not unique),
+        # without keeping replaced tables' data alive.
+        self.table_ref = weakref.ref(table)
+        self.version = version
+        self.batches = batches
+        # Pin the task so its id() cannot be recycled while the entry lives.
+        self.task = task
+
+    def valid_for(self, table: "Table", version: int) -> bool:
+        return self.table_ref() is table and self.version == version
+
+
+class ExampleCache:
+    """Per-(table-name, version, task) cache of decoded example batches.
+
+    Row -> example decoding is the dominant per-epoch cost of the per-tuple
+    path; this cache makes it happen once per *table mutation* instead of once
+    per tuple per epoch.  Entries are keyed by table name + the table's
+    monotonic :attr:`~repro.db.table.Table.version`, so any physical mutation
+    (insert, shuffle, cluster, truncate) invalidates stale batches on the next
+    lookup.  Unbatchable (table, task) pairs are negatively cached so the
+    fallback decision is also O(1) per epoch.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: dict[tuple, _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def batches_for(
+        self, table: "Table", task: "Task", chunk_size: int
+    ) -> "list[ExampleBatch] | None":
+        """Cached batches for ``table`` decoded by ``task``; None if unbatchable."""
+        if not getattr(task, "supports_batches", False):
+            return None
+        key = (table.name, id(task), chunk_size)
+        version = table.version
+        entry = self._entries.get(key)
+        if entry is not None and entry.valid_for(table, version):
+            self.hits += 1
+            return entry.batches
+        self.misses += 1
+        batches: list[ExampleBatch] | None = []
+        for chunk in table.iter_chunks(chunk_size):
+            batch = task.batch_from_chunk(chunk)
+            if batch is None:
+                batches = None
+                break
+            batches.append(batch)
+        if entry is None and len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = _CacheEntry(table, version, batches, task)
+        return batches
+
+    def invalidate(self, table_name: str | None = None) -> None:
+        """Drop all entries (or just those of one table)."""
+        if table_name is None:
+            self._entries.clear()
+            return
+        for key in [k for k in self._entries if k[0] == table_name]:
+            del self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class Task:
     """Base class for analytics tasks solved by IGD."""
 
     #: Short machine-readable name, used by the SQL front end and registries.
     name: str = "task"
+
+    #: Whether the task implements the chunked/batched kernels below.  Tasks
+    #: that leave this False always run through the per-tuple path.
+    supports_batches: bool = False
 
     def __init__(self, proximal: ProximalOperator | None = None):
         self.proximal: ProximalOperator = proximal or IdentityProximal()
@@ -115,6 +371,43 @@ class Task:
         del probe
         return gradient
 
+    # ----------------------------------------------------------- batched API
+    def batch_from_chunk(self, chunk: "TableChunk") -> ExampleBatch | None:
+        """Decode a columnar table chunk into an ExampleBatch (None = can't)."""
+        return None
+
+    def batch_loss(self, model: Model, batch: ExampleBatch) -> float:
+        """Sum of per-example losses over a batch (one numpy reduction)."""
+        raise NotImplementedError(f"{type(self).__name__} does not implement batch_loss()")
+
+    def batch_correct(self, model: Model, batch: ExampleBatch) -> int:
+        """Number of correctly classified examples in a batch."""
+        raise NotImplementedError(f"{type(self).__name__} does not implement batch_correct()")
+
+    def igd_chunk(
+        self,
+        model: Model,
+        batch: ExampleBatch,
+        alphas: np.ndarray,
+        proximal: ProximalOperator,
+    ) -> None:
+        """Sequential IGD over a batch: bit-for-bit the per-tuple updates.
+
+        ``alphas[i]`` is the step size of the i-th example in the batch
+        (precomputed by the aggregate from the step-size schedule).
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not implement igd_chunk()")
+
+    def minibatch_step(
+        self, model: Model, batch: ExampleBatch, start: int, stop: int, alpha: float
+    ) -> None:
+        """One averaged-(sub)gradient step over batch rows ``start..stop``.
+
+        With a single row this equals one exact IGD step; with ``B`` rows it is
+        the mini-batch SGD update ``w += alpha * mean_i g_i(w)``.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not implement minibatch_step()")
+
     def describe(self) -> str:
         return self.name
 
@@ -134,6 +427,8 @@ class SupervisedExample:
 
 class LinearModelTask(Task):
     """Shared plumbing for tasks whose model is a single coefficient vector."""
+
+    supports_batches = True
 
     def __init__(
         self,
@@ -160,3 +455,21 @@ class LinearModelTask(Task):
 
     def decision_value(self, model: Model, example: SupervisedExample) -> float:
         return dot_product(model["w"], example.features)
+
+    # ----------------------------------------------------------- batched API
+    def batch_from_chunk(self, chunk: "TableChunk") -> ExampleBatch | None:
+        features = chunk.column(self.feature_column)
+        labels = chunk.column(self.label_column)
+        return make_example_batch(features, labels, self.dimension)
+
+    def batch_correct(self, model: Model, batch: ExampleBatch) -> int:
+        if not hasattr(self, "classify"):
+            raise NotImplementedError(f"{type(self).__name__} does not classify")
+        decisions = batch.decision_values(model["w"])
+        predicted = self.batch_classify_decisions(decisions)
+        truth = np.where(batch.y > 0, 1, -1)
+        return int(np.count_nonzero(predicted == truth))
+
+    def batch_classify_decisions(self, decisions: np.ndarray) -> np.ndarray:
+        """±1 labels from decision values; must mirror ``classify`` exactly."""
+        return np.where(decisions >= 0.0, 1, -1)

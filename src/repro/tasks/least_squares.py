@@ -15,9 +15,44 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from ..core.model import Model
-from ..core.proximal import ProximalOperator
+from ..core.proximal import IdentityProximal, ProximalOperator
 from ..db.types import Row
-from .base import LinearModelTask, SupervisedExample, dot_product, scale_and_add
+from .base import ExampleBatch, LinearModelTask, SupervisedExample, dot_product, scale_and_add
+
+
+def _squared_error_batch_loss(task: LinearModelTask, model: Model, batch: ExampleBatch) -> float:
+    residuals = batch.decision_values(model["w"]) - batch.y
+    return float(0.5 * np.sum(residuals * residuals))
+
+
+def _squared_error_igd_chunk(
+    task: LinearModelTask,
+    model: Model,
+    batch: ExampleBatch,
+    alphas: np.ndarray,
+    proximal: ProximalOperator,
+) -> None:
+    w = model["w"]
+    y = batch.y
+    apply_proximal = not isinstance(proximal, IdentityProximal)
+    for i in range(batch.length):
+        residual = batch.row_dot(w, i) - y[i]
+        batch.add_scaled_row(w, i, -(alphas[i] * residual))
+        if apply_proximal:
+            proximal.apply(model, alphas[i])
+
+
+def _squared_error_minibatch_step(
+    task: LinearModelTask,
+    model: Model,
+    batch: ExampleBatch,
+    start: int,
+    stop: int,
+    alpha: float,
+) -> None:
+    w = model["w"]
+    residuals = batch.decision_values(w, start, stop) - batch.y[start:stop]
+    batch.add_scaled_rows(w, (-alpha / (stop - start)) * residuals, start, stop)
 
 
 class OneDimensionalLeastSquares(LinearModelTask):
@@ -54,6 +89,11 @@ class OneDimensionalLeastSquares(LinearModelTask):
     def predict(self, model: Model, example: SupervisedExample) -> float:
         return float(model["w"][0] * float(example.features))
 
+    # ------------------------------------------------- batched API (scalar x)
+    batch_loss = _squared_error_batch_loss
+    igd_chunk = _squared_error_igd_chunk
+    minibatch_step = _squared_error_minibatch_step
+
 
 class LinearRegressionTask(LinearModelTask):
     """General d-dimensional least squares: ``f_i(w) = 0.5 * (w.x_i - y_i)^2``."""
@@ -71,6 +111,11 @@ class LinearRegressionTask(LinearModelTask):
 
     def predict(self, model: Model, example: SupervisedExample) -> float:
         return dot_product(model["w"], example.features)
+
+    # ----------------------------------------------------------- batched API
+    batch_loss = _squared_error_batch_loss
+    igd_chunk = _squared_error_igd_chunk
+    minibatch_step = _squared_error_minibatch_step
 
 
 def catx_closed_form_iterates(

@@ -16,7 +16,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..core.model import Model
-from ..core.proximal import ProximalOperator
+from ..core.proximal import IdentityProximal, ProximalOperator
 from ..db.types import Row
 from .base import Task
 
@@ -30,10 +30,26 @@ class RatingExample:
     value: float
 
 
+class RatingBatch:
+    """Columnar block of observed matrix entries (the LMF ExampleBatch)."""
+
+    __slots__ = ("rows", "cols", "values", "length")
+
+    def __init__(self, rows: np.ndarray, cols: np.ndarray, values: np.ndarray):
+        self.rows = rows
+        self.cols = cols
+        self.values = values
+        self.length = int(values.shape[0])
+
+    def __len__(self) -> int:
+        return self.length
+
+
 class LowRankMatrixFactorizationTask(Task):
     """Factorise a partially observed matrix M ~ L @ R.T with rank ``rank``."""
 
     name = "low_rank_matrix_factorization"
+    supports_batches = True
 
     def __init__(
         self,
@@ -98,6 +114,67 @@ class LowRankMatrixFactorizationTask(Task):
 
     def predict(self, model: Model, example: RatingExample) -> float:
         return float(np.dot(model["L"][example.row], model["R"][example.col]))
+
+    # ----------------------------------------------------------- batched API
+    def batch_from_chunk(self, chunk) -> RatingBatch | None:
+        rows = chunk.column(self.row_column)
+        cols = chunk.column(self.col_column)
+        values = chunk.column(self.value_column)
+        if rows.dtype == object or cols.dtype == object or values.dtype == object:
+            return None
+        return RatingBatch(
+            np.asarray(rows, dtype=np.intp),
+            np.asarray(cols, dtype=np.intp),
+            np.asarray(values, dtype=np.float64),
+        )
+
+    def batch_loss(self, model: Model, batch: RatingBatch) -> float:
+        predicted = np.einsum(
+            "ij,ij->i", model["L"][batch.rows], model["R"][batch.cols]
+        )
+        residuals = predicted - batch.values
+        return float(np.sum(residuals * residuals))
+
+    def igd_chunk(
+        self, model: Model, batch: RatingBatch, alphas: np.ndarray, proximal: ProximalOperator
+    ) -> None:
+        left = model["L"]
+        right = model["R"]
+        mu = self.mu
+        rows, cols, values = batch.rows, batch.cols, batch.values
+        apply_proximal = not isinstance(proximal, IdentityProximal)
+        for i in range(batch.length):
+            r = rows[i]
+            c = cols[i]
+            li = left[r]
+            rj = right[c]
+            residual = float(np.dot(li, rj)) - values[i]
+            alpha = alphas[i]
+            # Simultaneous update using the current (pre-update) factors.
+            li_new = li - alpha * (residual * rj + mu * li)
+            rj_new = rj - alpha * (residual * li + mu * rj)
+            left[r] = li_new
+            right[c] = rj_new
+            if apply_proximal:
+                proximal.apply(model, alpha)
+
+    def minibatch_step(
+        self, model: Model, batch: RatingBatch, start: int, stop: int, alpha: float
+    ) -> None:
+        left = model["L"]
+        right = model["R"]
+        rows = batch.rows[start:stop]
+        cols = batch.cols[start:stop]
+        values = batch.values[start:stop]
+        li = left[rows]
+        rj = right[cols]
+        residuals = np.einsum("ij,ij->i", li, rj) - values
+        coefficient = alpha / (stop - start)
+        gradient_left = residuals[:, None] * rj + self.mu * li
+        gradient_right = residuals[:, None] * li + self.mu * rj
+        # Duplicate row/col indices within a mini-batch must accumulate.
+        np.add.at(left, rows, -coefficient * gradient_left)
+        np.add.at(right, cols, -coefficient * gradient_right)
 
     # ---------------------------------------------------------------- helpers
     def regularization_penalty(self, model: Model) -> float:

@@ -13,9 +13,11 @@ Figure 4:
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.model import Model
-from ..core.proximal import L1Proximal, ProximalOperator
-from .base import LinearModelTask, SupervisedExample, dot_product, scale_and_add
+from ..core.proximal import IdentityProximal, L1Proximal, ProximalOperator
+from .base import ExampleBatch, LinearModelTask, SupervisedExample, dot_product, scale_and_add
 
 
 class SVMTask(LinearModelTask):
@@ -58,3 +60,31 @@ class SVMTask(LinearModelTask):
 
     def classify(self, model: Model, example: SupervisedExample) -> int:
         return 1 if self.predict(model, example) >= 0.0 else -1
+
+    # ----------------------------------------------------------- batched API
+    def batch_loss(self, model: Model, batch: ExampleBatch) -> float:
+        decisions = batch.decision_values(model["w"])
+        return float(np.sum(np.maximum(0.0, 1.0 - batch.y * decisions)))
+
+    def igd_chunk(
+        self, model: Model, batch: ExampleBatch, alphas: np.ndarray, proximal: ProximalOperator
+    ) -> None:
+        w = model["w"]
+        y = batch.y
+        apply_proximal = not isinstance(proximal, IdentityProximal)
+        for i in range(batch.length):
+            wx = batch.row_dot(w, i)
+            label = y[i]
+            if 1.0 - wx * label > 0.0:
+                batch.add_scaled_row(w, i, alphas[i] * label)
+            if apply_proximal:
+                proximal.apply(model, alphas[i])
+
+    def minibatch_step(
+        self, model: Model, batch: ExampleBatch, start: int, stop: int, alpha: float
+    ) -> None:
+        w = model["w"]
+        y = batch.y[start:stop]
+        decisions = batch.decision_values(w, start, stop)
+        subgradients = np.where(1.0 - decisions * y > 0.0, y, 0.0)
+        batch.add_scaled_rows(w, (alpha / (stop - start)) * subgradients, start, stop)

@@ -1,0 +1,439 @@
+"""Parity suite: the chunked columnar path must reproduce the per-tuple path.
+
+The chunked fast path (cached ExampleBatches + vectorized/sequential kernels)
+claims *bit-for-bit* identical models for exact IGD and identical-to-1e-9
+objective traces.  These tests pin that claim for LR, SVM, lasso and least
+squares across all three data orderings, for dense and sparse features, plus
+the LMF task, the loss/accuracy aggregates, mini-batch semantics, and the
+version-keyed example cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.driver import IGDConfig, train
+from repro.core.model import Model
+from repro.core.uda import AccuracyAggregate, IGDAggregate, LossAggregate
+from repro.data import (
+    load_classification_table,
+    load_ratings_table,
+    make_dense_classification,
+    make_ratings,
+    make_sparse_classification,
+)
+from repro.db.engine import Database
+from repro.db.errors import ExecutionError
+from repro.tasks import (
+    LassoTask,
+    LogisticRegressionTask,
+    LowRankMatrixFactorizationTask,
+    SVMTask,
+)
+from repro.tasks.base import ExampleCache, SupervisedExample
+from repro.tasks.least_squares import LinearRegressionTask
+
+TASKS = {
+    "lr": LogisticRegressionTask,
+    "svm": SVMTask,
+    "lasso": LassoTask,
+    "least_squares": LinearRegressionTask,
+}
+ORDERINGS = ("shuffle_once", "shuffle_always", "clustered")
+STEP = {"kind": "epoch_decay", "alpha0": 0.05, "decay": 0.9}
+
+
+def _tiny_edge_table():
+    from repro.db import ColumnType, Schema, Table
+
+    schema = Schema.of(("vec", ColumnType.FLOAT_ARRAY), ("label", ColumnType.FLOAT))
+    table = Table("edge", schema)
+    table.insert(([1.0], 1.0))  # wx = -1e-17 for w = [-1e-17]
+    return table
+
+
+def _train(task_cls, data, *, sparse: bool, ordering: str, execution: str, **config):
+    database = Database("postgres", seed=0)
+    load_classification_table(database, "points", data.examples, sparse=sparse, replace=True)
+    task = task_cls(data.dimension)
+    cfg = IGDConfig(
+        step_size=STEP,
+        max_epochs=3,
+        ordering=ordering,
+        seed=11,
+        execution=execution,
+        **config,
+    )
+    return train(task, database, "points", config=cfg)
+
+
+class TestChunkedPathParity:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    @pytest.mark.parametrize("task_name", sorted(TASKS))
+    def test_dense_models_bit_identical(self, task_name, ordering):
+        data = make_dense_classification(160, 10, seed=0)
+        per_tuple = _train(TASKS[task_name], data, sparse=False, ordering=ordering,
+                           execution="per_tuple")
+        chunked = _train(TASKS[task_name], data, sparse=False, ordering=ordering,
+                         execution="chunked")
+        assert np.array_equal(per_tuple.model["w"], chunked.model["w"])
+        assert np.allclose(
+            per_tuple.objective_trace(), chunked.objective_trace(), atol=1e-9, rtol=0
+        )
+
+    @pytest.mark.parametrize("task_name", sorted(TASKS))
+    def test_sparse_models_bit_identical(self, task_name):
+        data = make_sparse_classification(150, 40, nonzeros_per_example=5, seed=1)
+        per_tuple = _train(TASKS[task_name], data, sparse=True, ordering="shuffle_once",
+                           execution="per_tuple")
+        chunked = _train(TASKS[task_name], data, sparse=True, ordering="shuffle_once",
+                         execution="chunked")
+        assert np.array_equal(per_tuple.model["w"], chunked.model["w"])
+        assert np.allclose(
+            per_tuple.objective_trace(), chunked.objective_trace(), atol=1e-9, rtol=0
+        )
+
+    def test_gradient_step_counts_match(self):
+        data = make_dense_classification(90, 6, seed=2)
+        per_tuple = _train(LogisticRegressionTask, data, sparse=False,
+                           ordering="shuffle_once", execution="per_tuple")
+        chunked = _train(LogisticRegressionTask, data, sparse=False,
+                         ordering="shuffle_once", execution="chunked")
+        assert [r.gradient_steps for r in per_tuple.history] == [
+            r.gradient_steps for r in chunked.history
+        ]
+
+    def test_lmf_models_bit_identical(self):
+        ratings = make_ratings(40, 30, 500, rank=4, seed=3)
+        results = {}
+        for execution in ("per_tuple", "chunked"):
+            database = Database("postgres", seed=0)
+            load_ratings_table(database, "ratings", ratings.examples, replace=True)
+            task = LowRankMatrixFactorizationTask(
+                ratings.num_rows, ratings.num_cols, rank=4, mu=0.01
+            )
+            results[execution] = train(
+                task, database, "ratings",
+                config=IGDConfig(step_size=0.05, max_epochs=3, ordering="shuffle_once",
+                                 seed=5, execution=execution),
+            )
+        assert np.array_equal(results["per_tuple"].model["L"], results["chunked"].model["L"])
+        assert np.array_equal(results["per_tuple"].model["R"], results["chunked"].model["R"])
+        assert np.allclose(
+            results["per_tuple"].objective_trace(),
+            results["chunked"].objective_trace(),
+            atol=1e-9, rtol=0,
+        )
+
+    def test_auto_equals_chunked_on_batchable_workload(self):
+        data = make_dense_classification(100, 8, seed=4)
+        auto = _train(SVMTask, data, sparse=False, ordering="shuffle_once", execution="auto")
+        chunked = _train(SVMTask, data, sparse=False, ordering="shuffle_once",
+                         execution="chunked")
+        assert np.array_equal(auto.model["w"], chunked.model["w"])
+
+
+class TestLossAndAccuracyAggregates:
+    def _database_and_task(self):
+        data = make_dense_classification(120, 7, seed=6)
+        database = Database("postgres", seed=0)
+        load_classification_table(database, "points", data.examples, sparse=False)
+        task = LogisticRegressionTask(data.dimension)
+        rng = np.random.default_rng(0)
+        model = Model({"w": rng.normal(size=data.dimension)})
+        return database, task, model
+
+    def test_loss_aggregate_chunked_matches_per_tuple(self):
+        database, task, model = self._database_and_task()
+        per_tuple = database.run_aggregate("points", LossAggregate(task, model))
+        chunked = database.run_aggregate(
+            "points", LossAggregate(task, model), execution="chunked"
+        )
+        assert chunked == pytest.approx(per_tuple, abs=1e-9)
+
+    def test_accuracy_aggregate_chunked_matches_per_tuple(self):
+        database, task, model = self._database_and_task()
+        per_tuple = database.run_aggregate("points", AccuracyAggregate(task, model))
+        chunked = database.run_aggregate(
+            "points", AccuracyAggregate(task, model), execution="chunked"
+        )
+        assert chunked == per_tuple
+
+    def test_lr_accuracy_parity_at_sub_ulp_decision_values(self):
+        """wx an ulp below zero still rounds sigmoid to exactly 0.5: both
+        paths must classify it +1, like the scalar classify threshold."""
+        database = Database("postgres", seed=0)
+        database.register_table(_tiny_edge_table())
+        task = LogisticRegressionTask(1)
+        model = Model({"w": np.array([-1e-17])})
+        per_tuple = database.run_aggregate("edge", AccuracyAggregate(task, model))
+        chunked = database.run_aggregate(
+            "edge", AccuracyAggregate(task, model), execution="chunked"
+        )
+        assert chunked == per_tuple == 1.0
+
+
+class TestMiniBatchMode:
+    def test_batch_size_one_recovers_exact_igd(self):
+        data = make_dense_classification(110, 9, seed=7)
+        exact = _train(LogisticRegressionTask, data, sparse=False,
+                       ordering="shuffle_once", execution="per_tuple")
+        minibatch = _train(LogisticRegressionTask, data, sparse=False,
+                           ordering="shuffle_once", execution="chunked", batch_size=1)
+        assert np.array_equal(exact.model["w"], minibatch.model["w"])
+
+    @pytest.mark.parametrize("task_name", sorted(TASKS))
+    def test_single_row_minibatch_step_equals_gradient_step(self, task_name):
+        """The averaged-gradient kernel with B=1 is one plain IGD step."""
+        data = make_dense_classification(16, 5, seed=8)
+        task = TASKS[task_name](data.dimension)
+        rng = np.random.default_rng(1)
+        reference = Model({"w": rng.normal(size=data.dimension)})
+        batched = reference.copy()
+
+        database = Database("postgres")
+        table = load_classification_table(database, "pts", data.examples, sparse=False)
+        chunk = next(table.iter_chunks(len(data.examples)))
+        batch = task.batch_from_chunk(chunk)
+        for i, example in enumerate(data.examples):
+            task.gradient_step(reference, SupervisedExample(example.features, example.label), 0.03)
+            task.minibatch_step(batched, batch, i, i + 1, 0.03)
+        assert np.allclose(reference["w"], batched["w"], atol=1e-12, rtol=0)
+
+    def test_minibatch_training_converges(self):
+        data = make_dense_classification(200, 8, seed=9)
+        result = _train(LogisticRegressionTask, data, sparse=False,
+                        ordering="shuffle_once", execution="chunked", batch_size=16)
+        trace = result.objective_trace()
+        assert trace[-1] < trace[0]
+        # ceil(200 / 16) = 13 averaged steps per epoch, not 200
+        assert result.history[0].gradient_steps == 13
+
+    def test_minibatch_requires_chunkable_path(self):
+        data = make_dense_classification(30, 4, seed=10)
+        with pytest.raises(ValueError):
+            IGDConfig(batch_size=4, execution="per_tuple")
+        database = Database("postgres", seed=0)
+        load_classification_table(database, "points", data.examples, sparse=False)
+        aggregate = IGDAggregate(LogisticRegressionTask(data.dimension), 0.05, batch_size=4)
+        with pytest.raises(ExecutionError):
+            database.run_aggregate("points", aggregate)  # per-tuple path refuses
+
+    def test_minibatch_config_normalises_auto_to_strict_chunked(self):
+        """B > 1 must fail fast on unbatchable workloads, not mid-epoch."""
+        assert IGDConfig(batch_size=4).execution == "chunked"
+        from repro.data import load_sequences_table, make_sequences
+        from repro.tasks import ConditionalRandomFieldTask
+
+        corpus = make_sequences(4, num_labels=3, seed=0)
+        database = Database("postgres", seed=0)
+        load_sequences_table(database, "seqs", corpus.examples)
+        task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+        with pytest.raises(ExecutionError):
+            train(task, database, "seqs", config=IGDConfig(batch_size=4, max_epochs=1))
+
+
+class TestExecutionModes:
+    def test_chunked_raises_for_unbatchable_task(self):
+        from repro.data import load_sequences_table, make_sequences
+        from repro.tasks import ConditionalRandomFieldTask
+
+        corpus = make_sequences(4, num_labels=3, seed=0)
+        database = Database("postgres", seed=0)
+        load_sequences_table(database, "seqs", corpus.examples)
+        task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+        aggregate = IGDAggregate(task, 0.05)
+        with pytest.raises(ExecutionError):
+            database.run_aggregate("seqs", aggregate, execution="chunked")
+
+    def test_auto_falls_back_for_unbatchable_task(self):
+        from repro.data import load_sequences_table, make_sequences
+        from repro.tasks import ConditionalRandomFieldTask
+
+        corpus = make_sequences(4, num_labels=3, seed=0)
+        database = Database("postgres", seed=0)
+        load_sequences_table(database, "seqs", corpus.examples)
+        task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+        model = database.run_aggregate(
+            "seqs", IGDAggregate(task, 0.05), execution="auto"
+        )
+        assert model.metadata["gradient_steps"] == 4
+
+    def test_unknown_execution_mode_rejected(self):
+        database = Database("postgres", seed=0)
+        database.create_table("t", [("x", "float")])
+        with pytest.raises(ExecutionError):
+            database.run_aggregate("t", "count", "x", execution="warp")
+        with pytest.raises(ValueError):
+            IGDConfig(execution="warp")
+
+    def test_chunked_execution_counts_one_scan_per_pass(self):
+        data = make_dense_classification(60, 5, seed=11)
+        database = Database("postgres", seed=0)
+        table = load_classification_table(database, "points", data.examples, sparse=False)
+        task = LogisticRegressionTask(data.dimension)
+        model = task.initial_model()
+        before = table.scan_count
+        database.run_aggregate("points", LossAggregate(task, model), execution="chunked")
+        assert table.scan_count == before + 1
+        # a cached pass still counts as one logical scan
+        database.run_aggregate("points", LossAggregate(task, model), execution="chunked")
+        assert table.scan_count == before + 2
+
+
+class TestExampleCacheInvalidation:
+    def _setup(self):
+        data = make_dense_classification(64, 5, seed=12)
+        database = Database("postgres", seed=0)
+        table = load_classification_table(database, "points", data.examples, sparse=False)
+        task = LogisticRegressionTask(data.dimension)
+        return database, table, task
+
+    def test_cache_hit_on_unchanged_table(self):
+        database, table, task = self._setup()
+        cache = database.executor.example_cache
+        first = cache.batches_for(table, task, 32)
+        second = cache.batches_for(table, task, 32)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_shuffle_busts_cache(self):
+        database, table, task = self._setup()
+        cache = database.executor.example_cache
+        stale = cache.batches_for(table, task, 32)
+        table.shuffle(seed=0)
+        fresh = cache.batches_for(table, task, 32)
+        assert fresh is not stale
+        first_ids_stale = stale[0].y
+        first_ids_fresh = fresh[0].y
+        # reordering must be visible through the cache
+        assert not np.array_equal(first_ids_stale, first_ids_fresh)
+
+    def test_cluster_by_busts_cache(self):
+        database, table, task = self._setup()
+        cache = database.executor.example_cache
+        stale = cache.batches_for(table, task, 32)
+        table.cluster_by("label")
+        assert cache.batches_for(table, task, 32) is not stale
+
+    def test_insert_busts_cache(self):
+        database, table, task = self._setup()
+        cache = database.executor.example_cache
+        stale = cache.batches_for(table, task, 32)
+        table.insert((999, np.zeros(5), 1.0))
+        fresh = cache.batches_for(table, task, 32)
+        assert fresh is not stale
+        assert sum(len(b) for b in fresh) == sum(len(b) for b in stale) + 1
+
+    def test_task_without_batch_support_short_circuits(self):
+        database, table, _ = self._setup()
+        from repro.tasks import ConditionalRandomFieldTask
+
+        crf = ConditionalRandomFieldTask(4, 3)
+        cache = database.executor.example_cache
+        assert cache.batches_for(table, crf, 32) is None
+        assert cache.misses == 0  # CRF does not support batches: no build attempted
+
+    def test_unbatchable_column_negatively_cached(self):
+        from repro.db import ColumnType, Schema, Table
+
+        schema = Schema.of(("vec", ColumnType.ANY), ("label", ColumnType.FLOAT))
+        table = Table("mixed", schema)
+        table.insert_many([(np.zeros(3), 1.0), ({0: 1.0}, -1.0)])  # mixed dense/sparse
+        task = LogisticRegressionTask(3)
+        cache = ExampleCache()
+        assert cache.batches_for(table, task, 32) is None
+        assert cache.misses == 1
+        # second lookup is a hit on the negative entry, not a re-decode
+        assert cache.batches_for(table, task, 32) is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_respects_max_entries(self):
+        _, table, _ = self._setup()
+        cache = ExampleCache(max_entries=2)
+        tasks = [LogisticRegressionTask(5) for _ in range(3)]
+        for task in tasks:
+            cache.batches_for(table, task, 32)
+        assert len(cache) == 2
+
+    def test_replaced_table_with_same_name_and_version_not_served_stale(self):
+        """A dropped-and-recreated table restarts its version sequence; the
+        cache must bind to the table object, not just (name, version)."""
+        database = Database("postgres", seed=0)
+        task = LogisticRegressionTask(3)
+        old = make_dense_classification(40, 3, seed=13)
+        new = make_dense_classification(40, 3, seed=14)
+        old_table = load_classification_table(database, "pts", old.examples, sparse=False)
+        per_tuple_old = database.run_aggregate(
+            "pts", LossAggregate(task, task.initial_model())
+        )
+        chunked_old = database.run_aggregate(
+            "pts", LossAggregate(task, task.initial_model()), execution="chunked"
+        )
+        load_classification_table(database, "pts", new.examples, sparse=False, replace=True)
+        assert database.table("pts").version == old_table.version  # the trap
+        per_tuple_new = database.run_aggregate(
+            "pts", LossAggregate(task, task.initial_model())
+        )
+        chunked_new = database.run_aggregate(
+            "pts", LossAggregate(task, task.initial_model()), execution="chunked"
+        )
+        assert chunked_old == pytest.approx(per_tuple_old, abs=1e-9)
+        assert chunked_new == pytest.approx(per_tuple_new, abs=1e-9)
+
+
+class TestSparseEdgeCases:
+    def test_decision_values_with_trailing_empty_rows(self):
+        """reduceat segment handling: empty sparse rows (all-zero examples)
+        anywhere in the chunk must not truncate their neighbours' dots."""
+        from repro.db import ColumnType, Schema, Table
+
+        schema = Schema.of(("vec", ColumnType.SPARSE_VECTOR), ("label", ColumnType.FLOAT))
+        table = Table("sparse_edge", schema)
+        table.insert_many(
+            [
+                ({0: 1.0, 1: 2.0}, 1.0),
+                ({}, -1.0),
+                ({1: 3.0}, 1.0),
+                ({}, -1.0),
+            ]
+        )
+        task = LogisticRegressionTask(2)
+        batch = task.batch_from_chunk(next(table.iter_chunks(16)))
+        w = np.array([10.0, 100.0])
+        assert batch.decision_values(w).tolist() == [210.0, 0.0, 300.0, 0.0]
+        # slices hit the same code path
+        assert batch.decision_values(w, 0, 2).tolist() == [210.0, 0.0]
+        assert batch.decision_values(w, 3, 4).tolist() == [0.0]
+
+    def test_chunked_parity_with_empty_sparse_rows(self):
+        from repro.db import ColumnType, Schema, Table
+
+        rng = np.random.default_rng(15)
+        schema = Schema.of(("vec", ColumnType.SPARSE_VECTOR), ("label", ColumnType.FLOAT))
+        rows = []
+        for i in range(60):
+            if i % 7 == 0:
+                features = {}
+            else:
+                features = {int(j): float(rng.normal()) for j in rng.choice(10, size=3, replace=False)}
+            rows.append((features, 1.0 if rng.random() > 0.5 else -1.0))
+        results = {}
+        for execution in ("per_tuple", "chunked"):
+            database = Database("postgres", seed=0)
+            table = Table("pts", schema)
+            table.insert_many(rows)
+            database.register_table(table)
+            task = LogisticRegressionTask(10)
+            results[execution] = train(
+                task, database, "pts",
+                config=IGDConfig(step_size=0.1, max_epochs=3, ordering="shuffle_once",
+                                 seed=2, execution=execution),
+            )
+        assert np.array_equal(results["per_tuple"].model["w"], results["chunked"].model["w"])
+        assert np.allclose(
+            results["per_tuple"].objective_trace(),
+            results["chunked"].objective_trace(),
+            atol=1e-9, rtol=0,
+        )

@@ -106,6 +106,128 @@ class TestReordering:
         assert len(labelled_table) == 50
 
 
+class TestVersionTracking:
+    def test_new_table_starts_at_version_zero(self):
+        table = Table("v", Schema.of(("x", ColumnType.FLOAT)))
+        assert table.version == 0
+
+    def test_insert_bumps_version(self, labelled_table):
+        before = labelled_table.version
+        labelled_table.insert((999, 1.0))
+        assert labelled_table.version == before + 1
+
+    def test_insert_many_bumps_version_once(self, labelled_table):
+        before = labelled_table.version
+        labelled_table.insert_many([(100, 1.0), (101, -1.0)])
+        assert labelled_table.version == before + 1
+
+    def test_shuffle_bumps_version(self, labelled_table):
+        before = labelled_table.version
+        labelled_table.shuffle(seed=0)
+        assert labelled_table.version > before
+
+    def test_cluster_by_bumps_version(self, labelled_table):
+        before = labelled_table.version
+        labelled_table.cluster_by("label")
+        assert labelled_table.version > before
+
+    def test_cluster_by_key_bumps_version(self, labelled_table):
+        before = labelled_table.version
+        labelled_table.cluster_by_key(lambda row: -row["id"], label="neg")
+        assert labelled_table.version > before
+
+    def test_truncate_bumps_version(self, labelled_table):
+        before = labelled_table.version
+        labelled_table.truncate()
+        assert labelled_table.version > before
+
+    def test_reads_do_not_bump_version(self, labelled_table):
+        before = labelled_table.version
+        list(labelled_table.scan())
+        list(labelled_table.scan_chunks(8))
+        labelled_table.row_at(3)
+        labelled_table.column_values("label")
+        assert labelled_table.version == before
+
+    def test_copy_preserves_version(self, labelled_table):
+        labelled_table.shuffle(seed=1)
+        assert labelled_table.copy("c").version == labelled_table.version
+
+
+class TestScanChunks:
+    def test_chunks_cover_all_rows_in_order(self, labelled_table):
+        chunks = list(labelled_table.scan_chunks(chunk_size=7))
+        ids = np.concatenate([chunk.column("id") for chunk in chunks])
+        assert ids.tolist() == list(range(50))
+        assert [len(chunk) for chunk in chunks] == [7] * 7 + [1]
+        assert [chunk.start for chunk in chunks] == [7 * i for i in range(8)]
+
+    def test_chunk_boundaries_independent_of_page_size(self, labelled_table):
+        # page_size=8, chunk_size=20 -> chunks straddle pages
+        chunks = list(labelled_table.scan_chunks(chunk_size=20))
+        assert [len(chunk) for chunk in chunks] == [20, 20, 10]
+
+    def test_scan_chunks_counts_exactly_one_scan(self, labelled_table):
+        before = labelled_table.scan_count
+        list(labelled_table.scan_chunks(chunk_size=5))
+        assert labelled_table.scan_count == before + 1
+
+    def test_typed_columns(self, labelled_table):
+        chunk = next(labelled_table.scan_chunks())
+        assert chunk.column("id").dtype == np.int64
+        assert chunk.column("label").dtype == np.float64
+
+    def test_object_column_for_arrays(self):
+        schema = Schema.of(("vec", ColumnType.FLOAT_ARRAY), ("label", ColumnType.FLOAT))
+        table = Table("vecs", schema)
+        table.insert_many(([float(i), 2.0], float(i)) for i in range(5))
+        chunk = next(table.scan_chunks())
+        vec_column = chunk.column("vec")
+        assert vec_column.dtype == object
+        assert np.array_equal(vec_column[3], np.array([3.0, 2.0]))
+
+    def test_chunk_carries_table_identity(self, labelled_table):
+        chunk = next(labelled_table.scan_chunks())
+        assert chunk.table_name == "labelled"
+        assert chunk.table_version == labelled_table.version
+
+    def test_invalid_chunk_size(self, labelled_table):
+        with pytest.raises(SchemaError):
+            list(labelled_table.scan_chunks(chunk_size=0))
+
+    def test_empty_table_yields_no_chunks(self):
+        table = Table("empty", Schema.of(("x", ColumnType.FLOAT)))
+        assert list(table.scan_chunks()) == []
+
+
+class TestInsertManyBatching:
+    def test_insert_many_matches_per_row_insert(self):
+        schema = Schema.of(("id", ColumnType.INTEGER), ("label", ColumnType.FLOAT))
+        one = Table("one", schema, page_size=8)
+        many = Table("many", schema, page_size=8)
+        rows = [(i, float(i % 3)) for i in range(37)]
+        for row in rows:
+            one.insert(row)
+        assert many.insert_many(rows) == 37
+        assert list(one.scan_values()) == list(many.scan_values())
+        assert one.num_pages == many.num_pages
+
+    def test_insert_many_fills_partial_tail_page(self):
+        schema = Schema.of(("id", ColumnType.INTEGER))
+        table = Table("t", schema, page_size=8)
+        table.insert((0,))
+        table.insert_many([(i,) for i in range(1, 20)])
+        assert len(table) == 20
+        assert table.num_pages == 3
+        assert [row["id"] for row in table.scan()] == list(range(20))
+
+    def test_insert_many_empty_iterable(self):
+        table = Table("t", Schema.of(("id", ColumnType.INTEGER)))
+        version = table.version
+        assert table.insert_many([]) == 0
+        assert table.version == version
+
+
 class TestPartition:
     def test_round_robin_partition_counts(self, labelled_table):
         segments = labelled_table.partition(4)

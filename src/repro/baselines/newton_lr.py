@@ -46,27 +46,40 @@ def train_newton_logistic_regression(
     tolerance: float = 1e-8,
     charge_per_tuple: Callable[[], object] | None = None,
 ) -> BaselineResult:
-    """Train LR by Newton/IRLS iterations with per-tuple accumulation."""
+    """Train LR by Newton/IRLS iterations with per-tuple scan accounting."""
     task = LogisticRegressionTask(dimension)
     weights = np.zeros(dimension)
     history: list[EpochRecord] = []
     total_start = time.perf_counter()
 
+    # The modelled in-RDBMS cost of IRLS is the per-tuple scan (charged below,
+    # once per tuple per iteration) plus the O(N d^2 + d^3) arithmetic; the
+    # arithmetic itself is batched here so the harness measures the modelled
+    # engine cost rather than Python loop overhead.
+    if examples:
+        features_matrix = np.stack(
+            [_densify(example.features, dimension) for example in examples]
+        )
+    else:
+        features_matrix = np.zeros((0, dimension))
+    labels = np.fromiter(
+        (example.label for example in examples), dtype=np.float64, count=len(examples)
+    )
+
     for iteration in range(iterations):
         start = time.perf_counter()
-        gradient = np.zeros(dimension)
-        hessian = ridge * np.eye(dimension)
         # One scan of the data; per tuple: O(d) for the gradient, O(d^2) for
         # the Hessian rank-one update (the MADlib IRLS transition function).
-        for example in examples:
-            if charge_per_tuple is not None:
+        if charge_per_tuple is not None:
+            for _ in range(len(examples)):
                 charge_per_tuple()
-            x = _densify(example.features, dimension)
-            margin = example.label * float(x @ weights)
-            probability = 1.0 / (1.0 + np.exp(np.clip(margin, -35, 35)))
-            gradient -= example.label * probability * x
-            weight = probability * (1.0 - probability)
-            hessian += weight * np.outer(x, x)
+        margins = labels * (features_matrix @ weights)
+        probabilities = 1.0 / (1.0 + np.exp(np.clip(margins, -35, 35)))
+        gradient = -(labels * probabilities) @ features_matrix
+        hessian_weights = probabilities * (1.0 - probabilities)
+        hessian = ridge * np.eye(dimension) + features_matrix.T @ (
+            hessian_weights[:, None] * features_matrix
+        )
         try:
             step = np.linalg.solve(hessian, gradient)
         except np.linalg.LinAlgError:

@@ -16,16 +16,13 @@ import numpy as np
 
 from ..db.engine import Database
 from ..db.parallel import SegmentedDatabase
+from ..db.shared_memory import SharedMemoryParallelism, run_shared_memory_epoch
 from ..db.table import Table
 from ..tasks.base import Task
 from .convergence import EpochRecord, StoppingRule, make_stopping_rule
 from .model import Model
 from .ordering import OrderingPolicy, make_ordering
-from .parallel import (
-    PureUDAParallelism,
-    SharedMemoryParallelism,
-    run_shared_memory_epoch,
-)
+from .parallel import PureUDAParallelism
 from .proximal import ProximalOperator
 from .stepsize import StepSizeSchedule, make_schedule
 from .uda import IGDAggregate, LossAggregate
@@ -45,8 +42,9 @@ class IGDConfig:
     #: Whether to evaluate the objective after every epoch (needed by most
     #: stopping rules; can be disabled for pure-throughput measurements).
     compute_objective: bool = True
-    #: Execution path for serial epochs and loss passes: "auto" uses the
-    #: chunked columnar fast path (cached decoded examples, vectorized loss,
+    #: Execution path for training epochs and loss passes on *every* backend
+    #: (serial, pure-UDA segmented, shared-memory): "auto" serves aggregates
+    #: from the cached chunk plane (cached decoded examples, vectorized loss,
     #: engine overhead charged per chunk) whenever the task and table support
     #: it, falling back to per-tuple otherwise; "per_tuple" forces the paper's
     #: tuple-at-a-time UDA protocol; "chunked" requires the fast path and
@@ -242,6 +240,12 @@ class BismarckRunner:
                 engine = self.database.master
             else:
                 engine = self.database
+            # The shared-memory epoch rides the unified chunk plane: workers
+            # slice the executor's cached decoded examples zero-copy unless
+            # the run explicitly asks for the paper's per-tuple protocol.
+            cache = None
+            if self.config.execution != "per_tuple":
+                cache = engine.executor.example_cache
             updated, steps = run_shared_memory_epoch(
                 table,
                 self.task,
@@ -253,6 +257,7 @@ class BismarckRunner:
                 proximal=proximal,
                 arena=engine.shared_memory,
                 charge_per_tuple=engine.executor._charge_overhead,
+                cache=cache,
             )
             return updated, steps
 
@@ -280,7 +285,9 @@ class BismarckRunner:
                 epoch=epoch,
                 step_offset=step_offset,
             )
-            outcome = self.database.run_parallel_aggregate(table_name, factory)
+            outcome = self.database.run_parallel_aggregate(
+                table_name, factory, execution=self.config.execution
+            )
             updated: Model = outcome.value
             steps = int(updated.metadata.get("gradient_steps", len(table))) - step_offset
             return updated, max(steps, 0)

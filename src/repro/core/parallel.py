@@ -11,37 +11,43 @@ Two mechanisms, both built from features every RDBMS offers:
 
 * **Shared-memory UDA** — the model lives in the database's shared-memory
   arena and is updated concurrently by workers scanning different portions of
-  the data.  Three concurrency schemes are modelled, as in the paper:
-  ``lock`` (serialise every update behind the segment lock), ``aig`` (atomic
-  per-component updates), and ``nolock`` (Hogwild-style unsynchronised
-  updates).
+  the data.  The simulation (and everything else shared-memory: the arena,
+  the concurrency schemes, the epoch runner) lives in
+  :mod:`repro.db.shared_memory`; this module re-exports the public API for
+  back-compat, since historically the epoch runner was defined here.
 
-The reproduction is a single Python process, so "concurrency" is simulated by
-a deterministic interleaving: workers take turns processing small batches of
-their partition against a snapshot of the shared model and then apply their
-accumulated delta using the scheme's write primitive.  The *convergence*
-behaviour (what Figure 9A measures) depends only on this update schedule and
-is therefore reproduced faithfully; the *wall-clock speed-up* (Figure 9B) is
-reproduced with the analytic cost model in :func:`modeled_speedup`, calibrated
-by the measured serial per-epoch time.
+Both backends consume the same cached chunk plane as the serial executor
+(:mod:`repro.db.chunk_plan`): the segmented engine runs ``transition_chunk``
+over per-segment cached batches, and the shared-memory epoch slices one cached
+decoded-example list across its workers.  The *convergence* behaviour (what
+Figure 9A measures) depends only on the update schedule and is reproduced
+faithfully; the *wall-clock speed-up* (Figure 9B) is reproduced with the
+analytic cost model in :func:`modeled_speedup`, calibrated by the measured
+serial per-epoch time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
 
-import numpy as np
+from ..db.chunk_plan import partition_round_robin
+from ..db.shared_memory import (
+    SHARED_MEMORY_SCHEMES,
+    SharedMemoryArena,
+    SharedMemoryParallelism,
+    run_shared_memory_epoch,
+)
 
-from ..db.shared_memory import SharedMemoryArena
-from ..db.table import Table
-from ..db.types import Row
-from ..tasks.base import Task
-from .model import Model
-from .proximal import IdentityProximal, ProximalOperator
-from .stepsize import StepSizeSchedule, make_schedule
-
-SHARED_MEMORY_SCHEMES = ("lock", "aig", "nolock")
+__all__ = [
+    "SHARED_MEMORY_SCHEMES",
+    "PureUDAParallelism",
+    "SharedMemoryArena",
+    "SharedMemoryParallelism",
+    "modeled_epoch_seconds",
+    "modeled_speedup",
+    "partition_round_robin",
+    "run_shared_memory_epoch",
+]
 
 
 @dataclass(frozen=True)
@@ -55,148 +61,7 @@ class PureUDAParallelism:
     name: str = "pure_uda"
 
 
-@dataclass(frozen=True)
-class SharedMemoryParallelism:
-    """Request shared-memory parallelism with a concurrency scheme."""
-
-    scheme: str = "nolock"
-    workers: int = 8
-    #: How many examples a worker processes against one stale snapshot before
-    #: publishing its delta.  None picks the scheme default (1 for lock/aig,
-    #: ``workers`` for nolock, approximating Hogwild staleness).
-    staleness: int | None = None
-    name: str = "shared_memory"
-
-    def __post_init__(self) -> None:
-        if self.scheme not in SHARED_MEMORY_SCHEMES:
-            raise ValueError(
-                f"unknown shared-memory scheme {self.scheme!r}; "
-                f"expected one of {SHARED_MEMORY_SCHEMES}"
-            )
-        if self.workers <= 0:
-            raise ValueError("workers must be positive")
-        if self.staleness is not None and self.staleness <= 0:
-            raise ValueError("staleness must be positive")
-
-    def effective_staleness(self) -> int:
-        if self.staleness is not None:
-            return self.staleness
-        if self.scheme == "nolock":
-            return max(1, self.workers)
-        return 1
-
-
 ParallelismSpec = "PureUDAParallelism | SharedMemoryParallelism | None"
-
-
-# ---------------------------------------------------------------------------
-# Shared-memory epoch simulation
-# ---------------------------------------------------------------------------
-def partition_round_robin(num_items: int, workers: int) -> list[list[int]]:
-    """Round-robin assignment of item ordinals to workers (segment layout)."""
-    partitions: list[list[int]] = [[] for _ in range(workers)]
-    for index in range(num_items):
-        partitions[index % workers].append(index)
-    return partitions
-
-
-def run_shared_memory_epoch(
-    examples: Sequence[Any] | Table,
-    task: Task,
-    model: Model,
-    step_size: StepSizeSchedule | float | dict,
-    *,
-    spec: SharedMemoryParallelism,
-    epoch: int = 0,
-    step_offset: int = 0,
-    proximal: ProximalOperator | None = None,
-    arena: SharedMemoryArena | None = None,
-    segment_name: str = "bismarck_model",
-    charge_per_tuple=None,
-) -> tuple[Model, int]:
-    """Run one epoch of shared-memory parallel IGD.
-
-    ``examples`` is either a Table (rows are converted through the task) or a
-    sequence of already-converted examples.  Returns the updated model and the
-    number of gradient steps taken.
-
-    ``charge_per_tuple`` is an optional zero-argument callable invoked once per
-    tuple as it is read: the engine's per-tuple scan cost still applies to the
-    shared-memory UDA (the workers scan tuples through the engine), only the
-    model-passing cost is avoided because the model lives in shared memory.
-    """
-    schedule = make_schedule(step_size)
-    proximal = proximal if proximal is not None else task.proximal or IdentityProximal()
-    if isinstance(examples, Table):
-        materialized = []
-        for row in examples.scan():
-            if charge_per_tuple is not None:
-                charge_per_tuple()
-            materialized.append(task.example_from_row(row))
-    else:
-        materialized = []
-        for item in examples:
-            if charge_per_tuple is not None:
-                charge_per_tuple()
-            materialized.append(task.example_from_row(item) if isinstance(item, Row) else item)
-    num_examples = len(materialized)
-    if num_examples == 0:
-        return model, 0
-
-    workers = min(spec.workers, num_examples)
-    staleness = spec.effective_staleness()
-    partitions = partition_round_robin(num_examples, workers)
-
-    # The shared model lives in the arena as a flat vector, as it would in a
-    # real shared-memory segment.
-    arena = arena or SharedMemoryArena()
-    if arena.exists(segment_name):
-        arena.free(segment_name)
-    segment = arena.allocate_from(segment_name, model.as_flat_vector())
-
-    cursors = [0] * workers
-    steps_taken = 0
-    total_steps_planned = num_examples
-    # Scratch model reused for snapshot-based local computation.
-    scratch = model.copy()
-
-    while steps_taken < total_steps_planned:
-        progressed = False
-        for worker in range(workers):
-            partition = partitions[worker]
-            cursor = cursors[worker]
-            if cursor >= len(partition):
-                continue
-            batch = partition[cursor:cursor + staleness]
-            cursors[worker] = cursor + len(batch)
-            progressed = True
-
-            snapshot = segment.snapshot()
-            scratch.load_flat_vector(snapshot)
-            for offset, example_index in enumerate(batch):
-                step_index = step_offset + steps_taken + offset
-                alpha = schedule.step_size(step_index, epoch)
-                task.gradient_step(scratch, materialized[example_index], alpha)
-                proximal.apply(scratch, alpha)
-            delta = scratch.as_flat_vector() - snapshot
-            steps_taken += len(batch)
-
-            if spec.scheme == "lock":
-                with segment.lock() as shared:
-                    shared += delta
-            elif spec.scheme == "aig":
-                nonzero = np.nonzero(delta)[0]
-                for index in nonzero:
-                    segment.atomic_add(int(index), float(delta[index]))
-            else:  # nolock
-                nonzero = np.nonzero(delta)[0]
-                segment.unsynchronised_add(nonzero, delta[nonzero])
-        if not progressed:
-            break
-
-    model.load_flat_vector(segment.array)
-    arena.free(segment_name)
-    return model, steps_taken
 
 
 # ---------------------------------------------------------------------------

@@ -40,15 +40,23 @@ from .errors import (
     UnknownFunctionError,
     UnknownTableError,
 )
+from .chunk_plan import ChunkPlan, partition_round_robin
 from .executor import QueryResult
 from .parallel import ParallelAggregateResult, SegmentedDatabase
-from .shared_memory import SharedMemoryArena, SharedSegment
+from .shared_memory import (
+    SHARED_MEMORY_SCHEMES,
+    SharedMemoryArena,
+    SharedMemoryParallelism,
+    SharedSegment,
+    run_shared_memory_epoch,
+)
 from .table import Table
 from .types import Column, ColumnType, Row, Schema
 
 __all__ = [
     "AggregateRegistry",
     "CatalogError",
+    "ChunkPlan",
     "Column",
     "ColumnType",
     "DBMS_A",
@@ -66,11 +74,13 @@ __all__ = [
     "ParseError",
     "QueryResult",
     "Row",
+    "SHARED_MEMORY_SCHEMES",
     "Schema",
     "SchemaError",
     "SegmentedDatabase",
     "SharedMemoryArena",
     "SharedMemoryError",
+    "SharedMemoryParallelism",
     "SharedSegment",
     "Table",
     "TypeMismatchError",
@@ -78,4 +88,6 @@ __all__ = [
     "UnknownFunctionError",
     "UnknownTableError",
     "connect",
+    "partition_round_robin",
+    "run_shared_memory_epoch",
 ]

@@ -1,0 +1,92 @@
+"""Backend-neutral chunk planning for the cached columnar execution plane.
+
+Extracted from the serial executor so that every execution backend — the
+serial executor (:mod:`repro.db.executor`), the shared-memory epoch
+(:mod:`repro.db.shared_memory`) and the segmented pure-UDA engine
+(:mod:`repro.db.parallel`) — serves aggregates from the *same* cached decoded
+chunks instead of each owning its own row-decode loop.  A
+:class:`ChunkPlan` bundles the three decisions every backend makes:
+
+* **cache lookup** — batches are resolved through the shared
+  :class:`~repro.tasks.base.ExampleCache`, keyed by (table name, table
+  version, decoding task, chunk size) and bound to the exact
+  :class:`~repro.db.table.Table` object, so any physical mutation invalidates
+  the plan on the next resolve;
+* **chunk slicing** — the cached batches are the columnar chunk sequence a
+  serial or per-segment pass consumes in physical order; and
+* **per-worker range assignment** — :func:`partition_round_robin` (round-robin
+  over example ordinals, mirroring how a shared-nothing engine lays segments
+  out) gives parallel backends their zero-copy slices of the same cached
+  data: the shared-memory epoch partitions the cache's decoded example list
+  with it, and :meth:`ChunkPlan.worker_partitions` exposes the same
+  assignment over a resolved plan's batches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..tasks.base import ExampleCache, Task
+    from .table import Table
+
+
+def partition_round_robin(num_items: int, workers: int) -> list[list[int]]:
+    """Round-robin assignment of item ordinals to workers (segment layout)."""
+    partitions: list[list[int]] = [[] for _ in range(workers)]
+    for index in range(num_items):
+        partitions[index % workers].append(index)
+    return partitions
+
+
+class ChunkPlan:
+    """A resolved plan for one aggregate pass over cached columnar chunks."""
+
+    __slots__ = ("table", "decoder", "batches", "chunk_size")
+
+    def __init__(self, table: "Table", decoder: "Task", batches: list, chunk_size: int):
+        self.table = table
+        self.decoder = decoder
+        self.batches = batches
+        self.chunk_size = chunk_size
+
+    @classmethod
+    def resolve(
+        cls,
+        table: "Table",
+        decoder: "Task | None",
+        cache: "ExampleCache",
+        chunk_size: int,
+    ) -> "ChunkPlan | None":
+        """Resolve a plan through the cache; None when the pass cannot chunk.
+
+        ``None`` means the aggregate exposed no decoder, the decoding task does
+        not support batches, or the table's columns cannot be batched — the
+        caller must fall back to per-tuple execution.
+        """
+        if decoder is None:
+            return None
+        batches = cache.batches_for(table, decoder, chunk_size)
+        if batches is None:
+            return None
+        return cls(table, decoder, batches, chunk_size)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.batches)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    @property
+    def num_examples(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+    def worker_partitions(self, workers: int) -> list[list[int]]:
+        """Round-robin example-ordinal partitions over the cached batches."""
+        return partition_round_robin(self.num_examples, workers)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkPlan(table={self.table.name!r}, chunks={len(self.batches)}, "
+            f"examples={self.num_examples})"
+        )

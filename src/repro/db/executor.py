@@ -19,6 +19,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 import numpy as np
 
 from .aggregates import AggregateRegistry, UserDefinedAggregate
+from .chunk_plan import ChunkPlan
 from .errors import ExecutionError
 from .expressions import Expression, FunctionCall, Star
 from .parser import OrderBy, SelectItem, SelectStatement
@@ -247,30 +248,40 @@ class Executor:
             self._example_cache = ExampleCache()
         return self._example_cache
 
-    def _run_aggregate_chunked(self, table: Table, instance: UserDefinedAggregate) -> Any:
-        """Batch-at-a-time aggregation over cached columnar example batches.
+    def chunk_plan(self, table: Table, instance: UserDefinedAggregate) -> ChunkPlan | None:
+        """Resolve the backend-neutral chunk plan for one aggregate pass."""
+        return ChunkPlan.resolve(
+            table, instance.chunk_decoder, self.example_cache, self.chunk_size
+        )
 
-        Per-tuple engine overhead (tuple formation, UDA call, model passing)
-        is charged once per chunk: the function-call boundary is crossed per
-        batch on this path, which is the entire reason vectorized execution
-        wins.  Counts as one logical scan even when served from the cache.
+    def consume_chunk_plan(
+        self, table: Table, instance: UserDefinedAggregate, plan: ChunkPlan
+    ) -> Any:
+        """initialize + transition_chunk over a plan, returning the raw state.
+
+        The single chunk-consumption loop shared by the serial path and the
+        segmented backend: per-tuple engine overhead (tuple formation, UDA
+        call, model passing) is charged once per chunk — the function-call
+        boundary is crossed per batch, which is the entire reason vectorized
+        execution wins — and the pass counts as one logical scan even when
+        served from the cache.
         """
-        decoder = instance.chunk_decoder
-        if decoder is None:
-            return _CHUNKS_UNSUPPORTED
-        batches = self.example_cache.batches_for(table, decoder, self.chunk_size)
-        if batches is None:
-            return _CHUNKS_UNSUPPORTED
         table.scan_count += 1
         state = instance.initialize()
         overhead_sink = 0.0
-        for batch in batches:
+        for batch in plan:
             overhead_sink += self._charge_overhead(instance.state_passing_units)
             state = instance.transition_chunk(state, batch)
-        result = instance.terminate(state)
         if overhead_sink < 0:  # pragma: no cover - keeps the sink live
             raise ExecutionError("overhead accumulator underflow")
-        return result
+        return state
+
+    def _run_aggregate_chunked(self, table: Table, instance: UserDefinedAggregate) -> Any:
+        """Batch-at-a-time aggregation over cached columnar example batches."""
+        plan = self.chunk_plan(table, instance)
+        if plan is None:
+            return _CHUNKS_UNSUPPORTED
+        return instance.terminate(self.consume_chunk_plan(table, instance, plan))
 
     def run_aggregate(
         self,

@@ -19,6 +19,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from .aggregates import UserDefinedAggregate
+from .chunk_plan import ChunkPlan
 from .engine import DBMS_B, Database, EnginePersonality
 from .errors import ExecutionError, UnknownTableError
 from .expressions import Expression
@@ -120,6 +121,7 @@ class SegmentedDatabase:
         *,
         where: Expression | None = None,
         segment_row_orders: Sequence[Sequence[int]] | None = None,
+        execution: str = "auto",
     ) -> ParallelAggregateResult:
         """Run a UDA independently on every segment and merge the results.
 
@@ -128,12 +130,26 @@ class SegmentedDatabase:
         ``merge``; otherwise the call degrades to a single-segment run on the
         master copy, mirroring how an RDBMS falls back to serial aggregation
         for non-algebraic aggregates.
+
+        ``execution`` selects the per-segment code path, with the same
+        contract as :meth:`Executor.run_aggregate`: ``"auto"`` (the default)
+        serves each segment from its own cached columnar chunks whenever the
+        aggregate and task support it, falling back to per-tuple; ``"per_tuple"``
+        forces the paper's tuple-at-a-time protocol; ``"chunked"`` raises if
+        any segment cannot chunk.  Unlike the serial
+        :meth:`Executor.run_aggregate` — whose ``"per_tuple"`` default is kept
+        as the paper's reference protocol — this entry point defaults to the
+        chunk plane; callers measuring per-tuple engine overhead (Tables 2-3)
+        must pass ``execution="per_tuple"`` explicitly.
         """
+        if execution not in ("per_tuple", "chunked", "auto"):
+            raise ExecutionError(f"unknown execution mode {execution!r}")
         segments = self.segments_of(table_name)
         probe = aggregate_factory()
         if not probe.supports_merge or self.num_segments == 1:
             value = self.master.executor.run_aggregate(
-                self.master.table(table_name), probe, argument, where=where
+                self.master.table(table_name), probe, argument,
+                where=where, execution=execution,
             )
             return ParallelAggregateResult(
                 value=value,
@@ -150,7 +166,7 @@ class SegmentedDatabase:
             order = None
             if segment_row_orders is not None:
                 order = segment_row_orders[index]
-            state = self._run_segment(instance, segment, argument, where, order)
+            state = self._run_segment(instance, segment, argument, where, order, execution)
             instances.append(instance)
             partial_states.append(state)
             per_segment_tuples.append(len(segment))
@@ -175,9 +191,31 @@ class SegmentedDatabase:
         argument: Expression | str | None,
         where: Expression | None,
         row_order: Sequence[int] | None,
+        execution: str = "auto",
     ) -> Any:
-        """Run initialize+transition over one segment, returning the raw state."""
+        """Run initialize+transition over one segment, returning the raw state.
+
+        On the chunked path the segment keeps its own example cache entries —
+        keyed by the segment table's (name, version, task) exactly like the
+        master table's — in the master executor's shared :class:`ExampleCache`,
+        so partitioned epochs decode each segment once per redistribution
+        instead of once per tuple per epoch.
+        """
         executor = self.master.executor
+        if execution != "per_tuple" and where is None and row_order is None:
+            if instance.supports_chunks:
+                plan = executor.chunk_plan(segment, instance)
+                if plan is not None:
+                    return executor.consume_chunk_plan(segment, instance, plan)
+            if execution == "chunked":
+                raise ExecutionError(
+                    f"aggregate {type(instance).__name__} cannot run chunked over "
+                    f"segment {segment.name!r} (unsupported aggregate, task or column types)"
+                )
+        elif execution == "chunked":
+            raise ExecutionError(
+                "chunked execution does not support WHERE filters or explicit row orders"
+            )
         argument_expression: Expression | None
         if isinstance(argument, str):
             from .expressions import ColumnRef

@@ -1,15 +1,19 @@
-"""Simulated shared-memory facility ("LWLock"-style) for UDAs.
+"""Shared-memory execution for UDAs: the arena facility plus the epoch runner.
 
 Section 3.3 of the paper relies on the fact that all three RDBMSes expose a
 way for user code to allocate and manage shared memory, so the model being
 learned can live outside the per-aggregate state and be updated concurrently
-by several workers.  This module provides that facility for our substrate:
+by several workers.  This module is the single home for everything
+shared-memory (the epoch runner used to live in :mod:`repro.core.parallel`,
+which still re-exports it for back-compat):
 
 * a named arena of numpy arrays (:class:`SharedMemoryArena`);
 * per-segment locks (:meth:`SharedSegment.lock`) for the "Lock" scheme;
 * a per-component compare-and-exchange primitive
-  (:meth:`SharedSegment.compare_and_exchange`) that the "AIG" scheme uses; and
-* raw unsynchronised access for the "NoLock" (Hogwild) scheme.
+  (:meth:`SharedSegment.compare_and_exchange`) that the "AIG" scheme uses;
+* raw unsynchronised access for the "NoLock" (Hogwild) scheme; and
+* the cooperative epoch simulation itself (:func:`run_shared_memory_epoch`)
+  with its :class:`SharedMemoryParallelism` spec.
 
 Because the reproduction simulates workers cooperatively (deterministic
 interleaving rather than preemptive threads), the locks never contend in the
@@ -22,11 +26,20 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 import numpy as np
 
+from .chunk_plan import partition_round_robin
 from .errors import SharedMemoryError
+from .table import Table
+from .types import Row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.model import Model
+    from ..core.proximal import ProximalOperator
+    from ..core.stepsize import StepSizeSchedule
+    from ..tasks.base import ExampleCache, Task
 
 
 @dataclass
@@ -127,3 +140,164 @@ class SharedMemoryArena:
 
     def total_bytes(self) -> int:
         return sum(segment.array.nbytes for segment in self._segments.values())
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory epoch simulation (Section 3.3)
+# ---------------------------------------------------------------------------
+SHARED_MEMORY_SCHEMES = ("lock", "aig", "nolock")
+
+
+@dataclass(frozen=True)
+class SharedMemoryParallelism:
+    """Request shared-memory parallelism with a concurrency scheme."""
+
+    scheme: str = "nolock"
+    workers: int = 8
+    #: How many examples a worker processes against one stale snapshot before
+    #: publishing its delta.  None picks the scheme default (1 for lock/aig,
+    #: ``workers`` for nolock, approximating Hogwild staleness).
+    staleness: int | None = None
+    name: str = "shared_memory"
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SHARED_MEMORY_SCHEMES:
+            raise ValueError(
+                f"unknown shared-memory scheme {self.scheme!r}; "
+                f"expected one of {SHARED_MEMORY_SCHEMES}"
+            )
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.staleness is not None and self.staleness <= 0:
+            raise ValueError("staleness must be positive")
+
+    def effective_staleness(self) -> int:
+        if self.staleness is not None:
+            return self.staleness
+        if self.scheme == "nolock":
+            return max(1, self.workers)
+        return 1
+
+
+def run_shared_memory_epoch(
+    examples: "Sequence[Any] | Table",
+    task: "Task",
+    model: "Model",
+    step_size: "StepSizeSchedule | float | dict",
+    *,
+    spec: SharedMemoryParallelism,
+    epoch: int = 0,
+    step_offset: int = 0,
+    proximal: "ProximalOperator | None" = None,
+    arena: SharedMemoryArena | None = None,
+    segment_name: str = "bismarck_model",
+    charge_per_tuple=None,
+    cache: "ExampleCache | None" = None,
+) -> "tuple[Model, int]":
+    """Run one epoch of shared-memory parallel IGD.
+
+    ``examples`` is either a Table (rows are converted through the task) or a
+    sequence of already-converted examples.  Returns the updated model and the
+    number of gradient steps taken.
+
+    ``cache`` optionally points at an :class:`~repro.tasks.base.ExampleCache`
+    (normally the engine executor's): the table is then decoded once per table
+    version and every worker slices the *same* cached example list zero-copy,
+    instead of re-decoding every tuple every epoch.  The update schedule —
+    round-robin worker interleaving, per-worker staleness batches, snapshot +
+    delta publication — is byte-identical either way, so cached and uncached
+    epochs produce the same model.
+
+    ``charge_per_tuple`` is an optional zero-argument callable modelling the
+    engine's scan cost.  On the uncached path it is invoked once per tuple as
+    rows are read (the paper's protocol: workers scan tuples through the
+    engine; only the model-passing cost is avoided because the model lives in
+    shared memory).  On the cached path the per-tuple boundary disappears —
+    workers read decoded examples from the shared plane — so the charge is
+    applied once per published worker batch instead, mirroring how the serial
+    chunked path charges per chunk.
+    """
+    from ..core.proximal import IdentityProximal
+    from ..core.stepsize import make_schedule
+
+    schedule = make_schedule(step_size)
+    proximal = proximal if proximal is not None else task.proximal or IdentityProximal()
+    charge_per_batch = False
+    if isinstance(examples, Table):
+        if cache is not None:
+            materialized = cache.examples_for(examples, task)
+            # One logical scan of the table's data per epoch, cached or not.
+            examples.scan_count += 1
+            charge_per_batch = True
+        else:
+            materialized = []
+            for row in examples.scan():
+                if charge_per_tuple is not None:
+                    charge_per_tuple()
+                materialized.append(task.example_from_row(row))
+    else:
+        materialized = []
+        for item in examples:
+            if charge_per_tuple is not None:
+                charge_per_tuple()
+            materialized.append(task.example_from_row(item) if isinstance(item, Row) else item)
+    num_examples = len(materialized)
+    if num_examples == 0:
+        return model, 0
+
+    workers = min(spec.workers, num_examples)
+    staleness = spec.effective_staleness()
+    partitions = partition_round_robin(num_examples, workers)
+
+    # The shared model lives in the arena as a flat vector, as it would in a
+    # real shared-memory segment.
+    arena = arena or SharedMemoryArena()
+    if arena.exists(segment_name):
+        arena.free(segment_name)
+    segment = arena.allocate_from(segment_name, model.as_flat_vector())
+
+    cursors = [0] * workers
+    steps_taken = 0
+    total_steps_planned = num_examples
+    # Scratch model reused for snapshot-based local computation.
+    scratch = model.copy()
+
+    while steps_taken < total_steps_planned:
+        progressed = False
+        for worker in range(workers):
+            partition = partitions[worker]
+            cursor = cursors[worker]
+            if cursor >= len(partition):
+                continue
+            batch = partition[cursor:cursor + staleness]
+            cursors[worker] = cursor + len(batch)
+            progressed = True
+            if charge_per_batch and charge_per_tuple is not None:
+                charge_per_tuple()
+
+            snapshot = segment.snapshot()
+            scratch.load_flat_vector(snapshot)
+            for offset, example_index in enumerate(batch):
+                step_index = step_offset + steps_taken + offset
+                alpha = schedule.step_size(step_index, epoch)
+                task.gradient_step(scratch, materialized[example_index], alpha)
+                proximal.apply(scratch, alpha)
+            delta = scratch.as_flat_vector() - snapshot
+            steps_taken += len(batch)
+
+            if spec.scheme == "lock":
+                with segment.lock() as shared:
+                    shared += delta
+            elif spec.scheme == "aig":
+                nonzero = np.nonzero(delta)[0]
+                for index in nonzero:
+                    segment.atomic_add(int(index), float(delta[index]))
+            else:  # nolock
+                nonzero = np.nonzero(delta)[0]
+                segment.unsynchronised_add(nonzero, delta[nonzero])
+        if not progressed:
+            break
+
+    model.load_flat_vector(segment.array)
+    arena.free(segment_name)
+    return model, steps_taken

@@ -222,13 +222,13 @@ def make_example_batch(
 
 
 class _CacheEntry:
-    __slots__ = ("table_ref", "version", "batches", "task")
+    __slots__ = ("table_ref", "version", "payload", "task")
 
     def __init__(
         self,
         table: "Table",
         version: int,
-        batches: "list[ExampleBatch] | None",
+        payload: Any,
         task: "Task",
     ):
         # A weak reference: entries must be bound to the exact Table object
@@ -237,7 +237,7 @@ class _CacheEntry:
         # without keeping replaced tables' data alive.
         self.table_ref = weakref.ref(table)
         self.version = version
-        self.batches = batches
+        self.payload = payload
         # Pin the task so its id() cannot be recycled while the entry lives.
         self.task = task
 
@@ -276,7 +276,7 @@ class ExampleCache:
         entry = self._entries.get(key)
         if entry is not None and entry.valid_for(table, version):
             self.hits += 1
-            return entry.batches
+            return entry.payload
         self.misses += 1
         batches: list[ExampleBatch] | None = []
         for chunk in table.iter_chunks(chunk_size):
@@ -285,11 +285,37 @@ class ExampleCache:
                 batches = None
                 break
             batches.append(batch)
+        self._store(key, entry, table, version, batches, task)
+        return batches
+
+    def examples_for(self, table: "Table", task: "Task") -> list:
+        """Cached decoded examples (``task.example_from_row`` over the heap).
+
+        Unlike :meth:`batches_for` this works for *every* task — decoding a
+        row into an example is the base Task contract — so per-example
+        backends (the shared-memory epoch) can serve any workload from the
+        cache.  Entries share the table/version/task key scheme with the
+        columnar batches and are invalidated identically.
+        """
+        key = (table.name, id(task), "examples")
+        version = table.version
+        entry = self._entries.get(key)
+        if entry is not None and entry.valid_for(table, version):
+            self.hits += 1
+            return entry.payload
+        self.misses += 1
+        examples = [task.example_from_row(row) for row in table.to_rows()]
+        self._store(key, entry, table, version, examples, task)
+        return examples
+
+    def _store(
+        self, key: tuple, entry: "_CacheEntry | None", table: "Table",
+        version: int, payload: Any, task: "Task",
+    ) -> None:
         if entry is None and len(self._entries) >= self.max_entries:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
-        self._entries[key] = _CacheEntry(table, version, batches, task)
-        return batches
+        self._entries[key] = _CacheEntry(table, version, payload, task)
 
     def invalidate(self, table_name: str | None = None) -> None:
         """Drop all entries (or just those of one table)."""
@@ -410,6 +436,95 @@ class Task:
 
     def describe(self) -> str:
         return self.name
+
+
+class DecodedExampleBatch:
+    """A chunk of task-decoded examples cached once per table version.
+
+    The generic chunk representation for tasks whose per-example kernels are
+    not expressible over flat columnar arrays (CRF sequences, Kalman time
+    steps, portfolio return samples).  The chunked win for these tasks is
+    decoding — row formation and parsing happen once per *table mutation*
+    instead of once per tuple per epoch — plus per-chunk instead of per-tuple
+    engine overhead; the float operations stay exactly the per-tuple ones.
+    """
+
+    __slots__ = ("examples",)
+
+    def __init__(self, examples: list):
+        self.examples = examples
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __repr__(self) -> str:
+        return f"DecodedExampleBatch(rows={len(self.examples)})"
+
+
+class PerExampleChunkTask(Task):
+    """Chunked execution through cached decoded examples.
+
+    Subclasses get the full ``supports_batches`` contract without writing
+    columnar kernels: ``batch_from_chunk`` decodes the chunk's rows through
+    the task's own ``example_from_row``, ``igd_chunk`` replays the task's own
+    ``gradient_step`` over the cached examples (bit-for-bit the per-tuple
+    updates), and ``batch_loss`` accumulates the task's ``loss`` in scan
+    order.
+    """
+
+    supports_batches = True
+
+    def batch_from_chunk(self, chunk: "TableChunk") -> DecodedExampleBatch | None:
+        schema = chunk.schema
+        try:
+            examples = [
+                self.example_from_row(Row(schema, values))
+                for values in chunk.row_values()
+            ]
+        except Exception:
+            # Any decode failure (missing columns, malformed payloads) makes
+            # the (table, task) pair unbatchable; the cache records the miss
+            # negatively and execution falls back to per-tuple.
+            return None
+        return DecodedExampleBatch(examples)
+
+    def igd_chunk(
+        self,
+        model: Model,
+        batch: DecodedExampleBatch,
+        alphas: np.ndarray,
+        proximal: ProximalOperator,
+    ) -> None:
+        apply_proximal = not isinstance(proximal, IdentityProximal)
+        for i, example in enumerate(batch.examples):
+            self.gradient_step(model, example, alphas[i])
+            if apply_proximal:
+                proximal.apply(model, alphas[i])
+
+    def batch_loss(self, model: Model, batch: DecodedExampleBatch) -> float:
+        total = 0.0
+        for example in batch.examples:
+            total += self.loss(model, example)
+        return total
+
+    def minibatch_step(
+        self, model: Model, batch: DecodedExampleBatch, start: int, stop: int, alpha: float
+    ) -> None:
+        """Averaged-gradient step: ``w += (alpha/B) * sum_i g_i(w)``.
+
+        Every example's gradient is evaluated at the same pre-step model (a
+        frozen base copy), so this is true mini-batch SGD regardless of how
+        stateful the task's ``gradient_step`` is.
+        """
+        base = model.copy()
+        scratch = base.copy()
+        scale = alpha / (stop - start)
+        for i in range(start, stop):
+            for name, array in scratch.items():
+                np.copyto(array, base[name])
+            self.gradient_step(scratch, batch.examples[i], scale)
+            for name, array in model.items():
+                array += scratch[name] - base[name]
 
 
 class SupervisedExample:

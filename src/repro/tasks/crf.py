@@ -25,9 +25,9 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from ..core.model import Model
-from ..core.proximal import ProximalOperator
+from ..core.proximal import IdentityProximal, ProximalOperator
 from ..db.types import Row
-from .base import Task
+from .base import DecodedExampleBatch, PerExampleChunkTask
 
 
 @dataclass(frozen=True)
@@ -49,14 +49,57 @@ class SequenceExample:
 
 
 def _log_sum_exp(values: np.ndarray, axis: int | None = None) -> np.ndarray:
-    maximum = np.max(values, axis=axis, keepdims=True)
-    result = maximum + np.log(np.sum(np.exp(values - maximum), axis=axis, keepdims=True))
+    # Array methods instead of np.* wrappers: this runs O(T) times per
+    # forward-backward pass, where the wrapper dispatch overhead is measurable.
+    # The reductions are the same ufuncs, so results are bit-identical.
+    maximum = values.max(axis=axis, keepdims=True)
+    result = maximum + np.log(np.exp(values - maximum).sum(axis=axis, keepdims=True))
     if axis is None:
         return result.reshape(())
     return np.squeeze(result, axis=axis)
 
 
-class ConditionalRandomFieldTask(Task):
+def _flatten_features(example: SequenceExample) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a sequence's per-token features into (indices, token offsets)."""
+    counts = np.fromiter(
+        (len(features) for features in example.token_features),
+        dtype=np.intp,
+        count=len(example),
+    )
+    offsets = np.zeros(len(example) + 1, dtype=np.intp)
+    np.cumsum(counts, out=offsets[1:])
+    flat = np.fromiter(
+        (f for features in example.token_features for f in features),
+        dtype=np.intp,
+        count=int(offsets[-1]),
+    )
+    return flat, offsets
+
+
+class SequenceBatch(DecodedExampleBatch):
+    """Cached decoded sequences plus flattened per-token feature arrays.
+
+    Decoding a sequence row means parsing its TEXT payload — by far the most
+    expensive per-tuple cost of the CRF task — so the chunk cache alone is a
+    large win.  On top of it, each example's active features are flattened
+    into one index array with token offsets so the chunked kernels skip even
+    the per-epoch flattening the per-tuple scoring kernel performs; both paths
+    then run the identical ``reduceat`` gather, keeping them bit-for-bit.
+    """
+
+    __slots__ = ("flat_features", "token_offsets")
+
+    def __init__(self, examples: list[SequenceExample]):
+        super().__init__(examples)
+        self.flat_features: list[np.ndarray] = []
+        self.token_offsets: list[np.ndarray] = []
+        for example in examples:
+            flat, offsets = _flatten_features(example)
+            self.flat_features.append(flat)
+            self.token_offsets.append(offsets)
+
+
+class ConditionalRandomFieldTask(PerExampleChunkTask):
     """Linear-chain CRF trained by incremental gradient descent."""
 
     name = "crf"
@@ -115,32 +158,61 @@ class ConditionalRandomFieldTask(Task):
     # --------------------------------------------------------------- internals
     def _token_scores(self, model: Model, example: SequenceExample) -> np.ndarray:
         """Per-token emission scores, shape (T, num_labels)."""
-        emission = model["emission"]
-        scores = np.zeros((len(example), self.num_labels))
-        for t, features in enumerate(example.token_features):
-            for feature in features:
-                scores[t] += emission[feature]
+        flat, offsets = _flatten_features(example)
+        return self._token_scores_cached(model["emission"], flat, offsets, len(example))
+
+    def _token_scores_cached(
+        self, emission: np.ndarray, flat: np.ndarray, offsets: np.ndarray, length: int
+    ) -> np.ndarray:
+        """Per-token scores from flattened feature arrays.
+
+        This is the single scoring kernel for both execution paths: the
+        per-tuple path flattens each example's features on the fly, the
+        chunked path reuses the arrays cached in its :class:`SequenceBatch`.
+        Sharing one kernel is what keeps the two paths bit-for-bit identical —
+        ``reduceat``'s reduction order over multiple segments is not the
+        left-to-right loop order, so a loop-based path could not match it.
+        """
+        scores = np.zeros((length, self.num_labels))
+        if flat.size:
+            gathered = emission[flat]
+            counts = np.diff(offsets)
+            # Zero-width reduceat segments misbehave (repeated starts), so
+            # reduce over non-empty tokens only: their starts are strictly
+            # increasing and each segment runs to the next non-empty start,
+            # which is exactly that token's features.
+            nonempty = counts > 0
+            scores[nonempty] = np.add.reduceat(gathered, offsets[:-1][nonempty], axis=0)
         return scores
 
     def _forward_backward(
-        self, model: Model, example: SequenceExample
+        self, model: Model, example: SequenceExample, scores: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray, float, np.ndarray]:
         """Return (alpha, beta, log_Z, scores) in log space."""
         transition = model["transition"]
-        scores = self._token_scores(model, example)
+        if scores is None:
+            scores = self._token_scores(model, example)
         length = len(example)
         alpha = np.zeros((length, self.num_labels))
         beta = np.zeros((length, self.num_labels))
         alpha[0] = scores[0]
+        # The log-sum-exps are inlined (same ufunc reductions as
+        # :func:`_log_sum_exp`, bit-identical results): these two recursions
+        # run O(T) times per tuple and dominate the task's wall-clock, so the
+        # per-call wrapper/keepdims/squeeze overhead is worth removing.
         for t in range(1, length):
             # alpha[t, y] = score[t, y] + logsumexp_y'( alpha[t-1, y'] + T[y', y] )
-            alpha[t] = scores[t] + _log_sum_exp(
-                alpha[t - 1][:, None] + transition, axis=0
+            combined = alpha[t - 1][:, None] + transition
+            maximum = combined.max(axis=0)
+            alpha[t] = scores[t] + (
+                maximum + np.log(np.exp(combined - maximum).sum(axis=0))
             )
         beta[length - 1] = 0.0
         for t in range(length - 2, -1, -1):
-            beta[t] = _log_sum_exp(
-                transition + scores[t + 1][None, :] + beta[t + 1][None, :], axis=1
+            combined = transition + scores[t + 1][None, :] + beta[t + 1][None, :]
+            maximum = combined.max(axis=1)
+            beta[t] = maximum + np.log(
+                np.exp(combined - maximum[:, None]).sum(axis=1)
             )
         log_z = float(_log_sum_exp(alpha[length - 1]))
         return alpha, beta, log_z, scores
@@ -148,54 +220,129 @@ class ConditionalRandomFieldTask(Task):
     # -------------------------------------------------------------- interface
     def loss(self, model: Model, example: SequenceExample) -> float:
         """Negative log-likelihood of the gold label sequence."""
-        _, _, log_z, scores = self._forward_backward(model, example)
+        return self._loss_with_scores(model, example, None)
+
+    def _loss_with_scores(
+        self, model: Model, example: SequenceExample, token_scores: np.ndarray | None
+    ) -> float:
+        _, _, log_z, scores = self._forward_backward(model, example, scores=token_scores)
         transition = model["transition"]
-        gold_score = 0.0
-        previous_label: int | None = None
-        for t, label in enumerate(example.labels):
-            gold_score += scores[t, label]
-            if previous_label is not None:
-                gold_score += transition[previous_label, label]
-            previous_label = label
+        labels = np.asarray(example.labels, dtype=np.intp)
+        gold_score = float(scores[np.arange(len(labels)), labels].sum())
+        if labels.size > 1:
+            gold_score += float(transition[labels[:-1], labels[1:]].sum())
         return log_z - gold_score
 
     def gradient_step(self, model: Model, example: SequenceExample, alpha: float) -> None:
         """One IGD step: add ``alpha * (empirical - expected)`` feature counts."""
+        flat, offsets = _flatten_features(example)
+        scores = self._token_scores_cached(model["emission"], flat, offsets, len(example))
+        forward_backward = self._forward_backward(model, example, scores=scores)
+        self._apply_gradient(
+            model, example, alpha, forward_backward, flat=flat, offsets=offsets
+        )
+
+    def _apply_gradient(
+        self,
+        model: Model,
+        example: SequenceExample,
+        alpha: float,
+        forward_backward: tuple[np.ndarray, np.ndarray, float, np.ndarray],
+        flat: np.ndarray | None = None,
+        offsets: np.ndarray | None = None,
+    ) -> None:
+        """Apply ``alpha * (empirical - expected)`` counts from one F-B pass.
+
+        ``flat`` / ``offsets`` optionally reuse a :class:`SequenceBatch`'s
+        cached flattened feature arrays; the per-tuple path flattens on the
+        fly.  Both execution paths run this single vectorized implementation,
+        which is what keeps them bit-for-bit identical.
+        """
         emission = model["emission"]
         transition = model["transition"]
-        alphas, betas, log_z, scores = self._forward_backward(model, example)
+        alphas, betas, log_z, scores = forward_backward
         length = len(example)
+        if flat is None:
+            flat, offsets = _flatten_features(example)
+        labels = np.asarray(example.labels, dtype=np.intp)
 
         # Unary marginals p(y_t = y | x), shape (T, num_labels).
-        unary_log = alphas + betas - log_z
-        unary = np.exp(unary_log)
+        unary = np.exp(alphas + betas - log_z)
 
-        # Emission updates: empirical minus expected, scaled by the step size.
-        for t, features in enumerate(example.token_features):
-            gold = example.labels[t]
-            for feature in features:
-                emission[feature, gold] += alpha
-                emission[feature] -= alpha * unary[t]
+        # Emission updates: empirical minus expected, scaled by the step
+        # size.  ``add.at``/``subtract.at`` accumulate repeated feature
+        # indices, matching the per-feature loop they replace.
+        if flat.size:
+            token_of_feature = np.repeat(
+                np.arange(length, dtype=np.intp), np.diff(offsets)
+            )
+            np.add.at(emission, (flat, labels[token_of_feature]), alpha)
+            np.subtract.at(emission, flat, alpha * unary[token_of_feature])
 
-        # Pairwise marginals and transition updates.  Marginals must be
+        # Pairwise marginals and transition updates.  All marginals are
         # computed against the pre-update transition weights (the same ones
-        # the forward/backward pass used), so snapshot them before mutating.
-        original_transition = transition.copy()
-        for t in range(1, length):
+        # the forward/backward pass used) before any update lands.
+        if length > 1:
             pairwise_log = (
-                alphas[t - 1][:, None]
-                + original_transition
-                + scores[t][None, :]
-                + betas[t][None, :]
+                alphas[:-1, :, None]
+                + transition[None, :, :]
+                + scores[1:, None, :]
+                + betas[1:, None, :]
                 - log_z
             )
-            pairwise = np.exp(pairwise_log)
-            transition[example.labels[t - 1], example.labels[t]] += alpha
-            transition -= alpha * pairwise
+            expected = np.exp(pairwise_log).sum(axis=0)
+            np.add.at(transition, (labels[:-1], labels[1:]), alpha)
+            transition -= alpha * expected
 
         if self.mu > 0:
             emission -= alpha * self.mu * emission
             transition -= alpha * self.mu * transition
+
+    # ----------------------------------------------------------- batched API
+    def batch_from_chunk(self, chunk) -> SequenceBatch | None:
+        """Decode a chunk of TEXT-encoded sequences once, with flat feature arrays."""
+        decoded = super().batch_from_chunk(chunk)
+        if decoded is None:
+            return None
+        return SequenceBatch(decoded.examples)
+
+    def igd_chunk(
+        self,
+        model: Model,
+        batch: SequenceBatch,
+        alphas: np.ndarray,
+        proximal: ProximalOperator,
+    ) -> None:
+        """Sequential IGD over cached decoded sequences.
+
+        The forward–backward pass runs on token scores gathered from the
+        batch's flattened feature arrays; gradients and updates are the exact
+        per-tuple operations, so the models are bit-for-bit identical.
+        """
+        apply_proximal = not isinstance(proximal, IdentityProximal)
+        flat_features = batch.flat_features
+        token_offsets = batch.token_offsets
+        for i, example in enumerate(batch.examples):
+            scores = self._token_scores_cached(
+                model["emission"], flat_features[i], token_offsets[i], len(example)
+            )
+            forward_backward = self._forward_backward(model, example, scores=scores)
+            self._apply_gradient(
+                model, example, alphas[i], forward_backward,
+                flat=flat_features[i], offsets=token_offsets[i],
+            )
+            if apply_proximal:
+                proximal.apply(model, alphas[i])
+
+    def batch_loss(self, model: Model, batch: SequenceBatch) -> float:
+        emission = model["emission"]
+        total = 0.0
+        for i, example in enumerate(batch.examples):
+            scores = self._token_scores_cached(
+                emission, batch.flat_features[i], batch.token_offsets[i], len(example)
+            )
+            total += self._loss_with_scores(model, example, scores)
+        return total
 
     def predict(self, model: Model, example: SequenceExample) -> list[int]:
         """Viterbi decoding of the most likely label sequence."""

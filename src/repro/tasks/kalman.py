@@ -21,7 +21,7 @@ import numpy as np
 from ..core.model import Model
 from ..core.proximal import ProximalOperator
 from ..db.types import Row
-from .base import Task
+from .base import PerExampleChunkTask
 
 
 @dataclass(frozen=True)
@@ -32,8 +32,14 @@ class ObservationExample:
     observation: np.ndarray
 
 
-class KalmanSmoothingTask(Task):
-    """Least-squares state smoothing under linear dynamics."""
+class KalmanSmoothingTask(PerExampleChunkTask):
+    """Least-squares state smoothing under linear dynamics.
+
+    Chunked execution comes from :class:`~repro.tasks.base.PerExampleChunkTask`:
+    observation rows are decoded once per table version and the exact
+    per-example gradient steps replay over the cached examples, so every
+    backend's chunk path is bit-for-bit the per-tuple path.
+    """
 
     name = "kalman"
 

@@ -5,6 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "backends: parallel/segmented execution-backend tests (run explicitly in "
+        "the CI backend matrix via `pytest -m backends`)",
+    )
+
 from repro.data import (
     load_classification_table,
     make_dense_classification,

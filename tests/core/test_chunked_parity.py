@@ -4,8 +4,10 @@ The chunked fast path (cached ExampleBatches + vectorized/sequential kernels)
 claims *bit-for-bit* identical models for exact IGD and identical-to-1e-9
 objective traces.  These tests pin that claim for LR, SVM, lasso and least
 squares across all three data orderings, for dense and sparse features, plus
-the LMF task, the loss/accuracy aggregates, mini-batch semantics, and the
-version-keyed example cache.
+the LMF task, the structured tasks (CRF, Kalman, portfolio), the
+loss/accuracy aggregates, mini-batch semantics, the version-keyed example
+cache, and all three execution backends (serial, shared-memory, segmented
+pure-UDA).
 """
 
 from __future__ import annotations
@@ -15,20 +17,31 @@ import pytest
 
 from repro.core.driver import IGDConfig, train
 from repro.core.model import Model
+from repro.core.parallel import PureUDAParallelism, SharedMemoryParallelism
 from repro.core.uda import AccuracyAggregate, IGDAggregate, LossAggregate
 from repro.data import (
     load_classification_table,
     load_ratings_table,
+    load_returns_table,
+    load_sequences_table,
+    load_timeseries_table,
     make_dense_classification,
+    make_noisy_timeseries,
+    make_portfolio_returns,
     make_ratings,
+    make_sequences,
     make_sparse_classification,
 )
 from repro.db.engine import Database
 from repro.db.errors import ExecutionError
+from repro.db.parallel import SegmentedDatabase
 from repro.tasks import (
+    ConditionalRandomFieldTask,
+    KalmanSmoothingTask,
     LassoTask,
     LogisticRegressionTask,
     LowRankMatrixFactorizationTask,
+    PortfolioOptimizationTask,
     SVMTask,
 )
 from repro.tasks.base import ExampleCache, SupervisedExample
@@ -42,6 +55,12 @@ TASKS = {
 }
 ORDERINGS = ("shuffle_once", "shuffle_always", "clustered")
 STEP = {"kind": "epoch_decay", "alpha0": 0.05, "decay": 0.9}
+
+
+class PerTupleOnlyTask(LogisticRegressionTask):
+    """A task that genuinely cannot chunk (the old role of the CRF task)."""
+
+    supports_batches = False
 
 
 def _tiny_edge_table():
@@ -223,40 +242,58 @@ class TestMiniBatchMode:
     def test_minibatch_config_normalises_auto_to_strict_chunked(self):
         """B > 1 must fail fast on unbatchable workloads, not mid-epoch."""
         assert IGDConfig(batch_size=4).execution == "chunked"
-        from repro.data import load_sequences_table, make_sequences
-        from repro.tasks import ConditionalRandomFieldTask
+        data = make_dense_classification(24, 4, seed=0)
+        database = Database("postgres", seed=0)
+        load_classification_table(database, "points", data.examples, sparse=False)
+        task = PerTupleOnlyTask(data.dimension)
+        with pytest.raises(ExecutionError):
+            train(task, database, "points", config=IGDConfig(batch_size=4, max_epochs=1))
 
-        corpus = make_sequences(4, num_labels=3, seed=0)
+    def test_minibatch_structured_tasks_converge(self):
+        """Structured tasks now run opt-in mini-batch SGD through the generic
+        averaged-gradient kernel."""
+        corpus = make_sequences(20, num_labels=3, seed=0)
         database = Database("postgres", seed=0)
         load_sequences_table(database, "seqs", corpus.examples)
         task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
-        with pytest.raises(ExecutionError):
-            train(task, database, "seqs", config=IGDConfig(batch_size=4, max_epochs=1))
+        result = train(
+            task, database, "seqs",
+            config=IGDConfig(step_size=0.2, max_epochs=3, ordering="shuffle_once",
+                             seed=1, batch_size=5),
+        )
+        trace = result.objective_trace()
+        assert trace[-1] < trace[0]
+        assert result.history[0].gradient_steps == 4  # ceil(20 / 5)
 
 
 class TestExecutionModes:
-    def test_chunked_raises_for_unbatchable_task(self):
-        from repro.data import load_sequences_table, make_sequences
-        from repro.tasks import ConditionalRandomFieldTask
-
-        corpus = make_sequences(4, num_labels=3, seed=0)
+    def _per_tuple_only_db(self):
+        data = make_dense_classification(4, 3, seed=0)
         database = Database("postgres", seed=0)
-        load_sequences_table(database, "seqs", corpus.examples)
-        task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+        load_classification_table(database, "points", data.examples, sparse=False)
+        return database, PerTupleOnlyTask(data.dimension)
+
+    def test_chunked_raises_for_unbatchable_task(self):
+        database, task = self._per_tuple_only_db()
         aggregate = IGDAggregate(task, 0.05)
         with pytest.raises(ExecutionError):
-            database.run_aggregate("seqs", aggregate, execution="chunked")
+            database.run_aggregate("points", aggregate, execution="chunked")
 
     def test_auto_falls_back_for_unbatchable_task(self):
-        from repro.data import load_sequences_table, make_sequences
-        from repro.tasks import ConditionalRandomFieldTask
+        database, task = self._per_tuple_only_db()
+        model = database.run_aggregate(
+            "points", IGDAggregate(task, 0.05), execution="auto"
+        )
+        assert model.metadata["gradient_steps"] == 4
 
+    def test_crf_task_now_chunks(self):
+        """The CRF used to be the canonical unbatchable task; it chunks now."""
         corpus = make_sequences(4, num_labels=3, seed=0)
         database = Database("postgres", seed=0)
         load_sequences_table(database, "seqs", corpus.examples)
         task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
         model = database.run_aggregate(
-            "seqs", IGDAggregate(task, 0.05), execution="auto"
+            "seqs", IGDAggregate(task, 0.05), execution="chunked"
         )
         assert model.metadata["gradient_steps"] == 4
 
@@ -328,12 +365,21 @@ class TestExampleCacheInvalidation:
 
     def test_task_without_batch_support_short_circuits(self):
         database, table, _ = self._setup()
-        from repro.tasks import ConditionalRandomFieldTask
+        task = PerTupleOnlyTask(5)
+        cache = database.executor.example_cache
+        assert cache.batches_for(table, task, 32) is None
+        assert cache.misses == 0  # no batch support: no build attempted
 
+    def test_wrong_schema_negatively_cached(self):
+        """A batchable task over a table missing its columns (the CRF over a
+        classification table) is negatively cached, not an error."""
+        database, table, _ = self._setup()
         crf = ConditionalRandomFieldTask(4, 3)
         cache = database.executor.example_cache
         assert cache.batches_for(table, crf, 32) is None
-        assert cache.misses == 0  # CRF does not support batches: no build attempted
+        assert cache.misses == 1
+        assert cache.batches_for(table, crf, 32) is None
+        assert cache.hits == 1 and cache.misses == 1
 
     def test_unbatchable_column_negatively_cached(self):
         from repro.db import ColumnType, Schema, Table
@@ -437,3 +483,271 @@ class TestSparseEdgeCases:
             results["chunked"].objective_trace(),
             atol=1e-9, rtol=0,
         )
+
+
+# ---------------------------------------------------------------------------
+# Structured tasks: CRF, Kalman, portfolio — chunked must equal per-tuple
+# ---------------------------------------------------------------------------
+def _train_crf(execution: str, *, ordering: str = "shuffle_once", parallelism=None,
+               database=None, epochs: int = 3):
+    corpus = make_sequences(30, num_labels=3, seed=0)
+    if database is None:
+        database = Database("postgres", seed=0)
+    load_sequences_table(database, "seqs", corpus.examples, replace=True)
+    task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+    return train(
+        task, database, "seqs",
+        config=IGDConfig(
+            step_size={"kind": "epoch_decay", "alpha0": 0.2, "decay": 0.9},
+            max_epochs=epochs, ordering=ordering, seed=1,
+            execution=execution, parallelism=parallelism,
+        ),
+    )
+
+
+def _train_kalman(execution: str, *, ordering: str = "shuffle_once"):
+    series = make_noisy_timeseries(60, 2, seed=0)
+    database = Database("postgres", seed=0)
+    load_timeseries_table(database, "ts", series.examples)
+    task = KalmanSmoothingTask(
+        series.num_steps, series.state_dim,
+        dynamics=series.dynamics, observation_matrix=series.observation_matrix,
+    )
+    return train(
+        task, database, "ts",
+        config=IGDConfig(step_size=0.05, max_epochs=3, ordering=ordering,
+                         seed=1, execution=execution),
+    )
+
+
+def _train_portfolio(execution: str, *, ordering: str = "shuffle_once"):
+    data = make_portfolio_returns(6, 120, seed=0)
+    database = Database("postgres", seed=0)
+    load_returns_table(database, "returns", data.examples)
+    task = PortfolioOptimizationTask(
+        data.num_assets, data.expected_returns, num_samples=len(data.examples)
+    )
+    return train(
+        task, database, "returns",
+        config=IGDConfig(step_size=0.05, max_epochs=3, ordering=ordering,
+                         seed=1, execution=execution),
+    )
+
+
+@pytest.mark.backends
+class TestStructuredTaskParity:
+    @pytest.mark.parametrize("ordering", ORDERINGS)
+    def test_crf_models_bit_identical(self, ordering):
+        per_tuple = _train_crf("per_tuple", ordering=ordering)
+        chunked = _train_crf("chunked", ordering=ordering)
+        assert np.array_equal(per_tuple.model["emission"], chunked.model["emission"])
+        assert np.array_equal(per_tuple.model["transition"], chunked.model["transition"])
+        assert np.allclose(
+            per_tuple.objective_trace(), chunked.objective_trace(), atol=1e-9, rtol=0
+        )
+
+    def test_crf_auto_equals_chunked(self):
+        auto = _train_crf("auto")
+        chunked = _train_crf("chunked")
+        assert np.array_equal(auto.model["emission"], chunked.model["emission"])
+
+    @pytest.mark.parametrize("execution", ["chunked", "auto"])
+    def test_kalman_models_bit_identical(self, execution):
+        per_tuple = _train_kalman("per_tuple")
+        fast = _train_kalman(execution)
+        assert np.array_equal(per_tuple.model["states"], fast.model["states"])
+        assert np.allclose(
+            per_tuple.objective_trace(), fast.objective_trace(), atol=1e-9, rtol=0
+        )
+
+    @pytest.mark.parametrize("execution", ["chunked", "auto"])
+    def test_portfolio_models_bit_identical(self, execution):
+        per_tuple = _train_portfolio("per_tuple")
+        fast = _train_portfolio(execution)
+        assert np.array_equal(per_tuple.model["w"], fast.model["w"])
+        assert np.allclose(
+            per_tuple.objective_trace(), fast.objective_trace(), atol=1e-9, rtol=0
+        )
+
+    def test_crf_loss_aggregate_parity(self):
+        corpus = make_sequences(20, num_labels=3, seed=2)
+        database = Database("postgres", seed=0)
+        load_sequences_table(database, "seqs", corpus.examples)
+        task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+        model = task.initial_model()
+        emission = model["emission"]
+        emission += np.random.default_rng(0).normal(scale=0.1, size=emission.shape)
+        per_tuple = database.run_aggregate("seqs", LossAggregate(task, model))
+        chunked = database.run_aggregate(
+            "seqs", LossAggregate(task, model), execution="chunked"
+        )
+        assert chunked == pytest.approx(per_tuple, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Backend parity: shared-memory and segmented pure-UDA on the chunk plane
+# ---------------------------------------------------------------------------
+@pytest.mark.backends
+class TestBackendChunkParity:
+    @pytest.mark.parametrize("scheme", ["lock", "aig", "nolock"])
+    def test_shared_memory_cached_epoch_matches_uncached(self, scheme):
+        """execution='auto' (cached example plane) and 'per_tuple' (per-epoch
+        decode) must produce identical shared-memory models."""
+        spec = SharedMemoryParallelism(scheme=scheme, workers=4)
+        results = {}
+        for execution in ("per_tuple", "auto"):
+            data = make_dense_classification(80, 6, seed=3)
+            database = Database("postgres", seed=0)
+            load_classification_table(database, "points", data.examples, sparse=False)
+            task = LogisticRegressionTask(data.dimension)
+            results[execution] = train(
+                task, database, "points",
+                config=IGDConfig(step_size=0.1, max_epochs=3, ordering="shuffle_once",
+                                 seed=4, execution=execution, parallelism=spec),
+            )
+        assert np.array_equal(
+            results["per_tuple"].model["w"], results["auto"].model["w"]
+        )
+        assert np.allclose(
+            results["per_tuple"].objective_trace(),
+            results["auto"].objective_trace(),
+            atol=1e-9, rtol=0,
+        )
+
+    def test_shared_memory_crf_cached_epoch_matches_uncached(self):
+        spec = SharedMemoryParallelism(scheme="nolock", workers=4)
+        per_tuple = _train_crf("per_tuple", parallelism=spec, epochs=2)
+        cached = _train_crf("auto", parallelism=spec, epochs=2)
+        assert np.array_equal(per_tuple.model["emission"], cached.model["emission"])
+        assert np.array_equal(per_tuple.model["transition"], cached.model["transition"])
+
+    @pytest.mark.parametrize("task_name", sorted(TASKS))
+    def test_segmented_pure_uda_chunked_matches_per_tuple(self, task_name):
+        results = {}
+        for execution in ("per_tuple", "auto"):
+            data = make_dense_classification(96, 7, seed=5)
+            database = SegmentedDatabase(4, "dbms_b", seed=0)
+            load_classification_table(database, "points", data.examples, sparse=False)
+            task = TASKS[task_name](data.dimension)
+            results[execution] = train(
+                task, database, "points",
+                config=IGDConfig(step_size=STEP, max_epochs=3, ordering="shuffle_once",
+                                 seed=6, execution=execution,
+                                 parallelism=PureUDAParallelism()),
+            )
+        assert np.array_equal(
+            results["per_tuple"].model["w"], results["auto"].model["w"]
+        )
+        assert np.allclose(
+            results["per_tuple"].objective_trace(),
+            results["auto"].objective_trace(),
+            atol=1e-9, rtol=0,
+        )
+
+    def test_segmented_crf_chunked_matches_per_tuple(self):
+        results = {}
+        for execution in ("per_tuple", "auto"):
+            database = SegmentedDatabase(4, "dbms_b", seed=0)
+            results[execution] = _train_crf(
+                execution, parallelism=PureUDAParallelism(), database=database, epochs=2
+            )
+        assert np.array_equal(
+            results["per_tuple"].model["emission"], results["auto"].model["emission"]
+        )
+        assert np.array_equal(
+            results["per_tuple"].model["transition"], results["auto"].model["transition"]
+        )
+
+    def test_segmented_chunked_aggregate_api_parity(self):
+        """run_parallel_aggregate execution modes agree at the API level too."""
+        data = make_dense_classification(60, 5, seed=7)
+        database = SegmentedDatabase(4, "dbms_b", seed=0)
+        load_classification_table(database, "points", data.examples, sparse=False)
+        task = LogisticRegressionTask(data.dimension)
+        factory = lambda: IGDAggregate(task, 0.05)  # noqa: E731
+        per_tuple = database.run_parallel_aggregate(
+            "points", factory, execution="per_tuple"
+        )
+        chunked = database.run_parallel_aggregate("points", factory, execution="chunked")
+        assert np.array_equal(per_tuple.value["w"], chunked.value["w"])
+        assert per_tuple.num_segments == chunked.num_segments == 4
+
+    def test_segmented_chunked_uses_per_segment_cache(self):
+        data = make_dense_classification(64, 5, seed=8)
+        database = SegmentedDatabase(4, "dbms_b", seed=0)
+        load_classification_table(database, "points", data.examples, sparse=False)
+        task = LogisticRegressionTask(data.dimension)
+        cache = database.master.executor.example_cache
+        factory = lambda: IGDAggregate(task, 0.05)  # noqa: E731
+        database.run_parallel_aggregate("points", factory, execution="chunked")
+        misses_after_first = cache.misses
+        assert misses_after_first == 4  # one decode per segment
+        database.run_parallel_aggregate("points", factory, execution="chunked")
+        assert cache.misses == misses_after_first  # second epoch served cached
+        assert cache.hits >= 4
+
+    def test_segmented_chunked_rejects_where(self):
+        from repro.db.expressions import ColumnRef
+
+        data = make_dense_classification(20, 4, seed=9)
+        database = SegmentedDatabase(2, "dbms_b", seed=0)
+        load_classification_table(database, "points", data.examples, sparse=False)
+        task = LogisticRegressionTask(data.dimension)
+        factory = lambda: IGDAggregate(task, 0.05)  # noqa: E731
+        with pytest.raises(ExecutionError):
+            database.run_parallel_aggregate(
+                "points", factory, where=ColumnRef("label"), execution="chunked"
+            )
+
+
+@pytest.mark.backends
+class TestExampleCacheDecodedExamples:
+    def test_examples_for_cached_and_invalidated(self):
+        data = make_dense_classification(40, 4, seed=10)
+        database = Database("postgres", seed=0)
+        table = load_classification_table(database, "points", data.examples, sparse=False)
+        task = LogisticRegressionTask(data.dimension)
+        cache = database.executor.example_cache
+        first = cache.examples_for(table, task)
+        assert len(first) == 40
+        assert cache.examples_for(table, task) is first
+        assert cache.hits == 1 and cache.misses == 1
+        table.shuffle(seed=1)
+        fresh = cache.examples_for(table, task)
+        assert fresh is not first
+
+    def test_examples_for_works_for_any_task(self):
+        corpus = make_sequences(6, num_labels=3, seed=1)
+        database = Database("postgres", seed=0)
+        table = load_sequences_table(database, "seqs", corpus.examples)
+        task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+        examples = database.executor.example_cache.examples_for(table, task)
+        assert [len(e) for e in examples] == [len(e) for e in corpus.examples]
+
+
+@pytest.mark.backends
+class TestChunkPlanLayer:
+    def test_resolve_and_worker_partitions(self):
+        from repro.db.chunk_plan import ChunkPlan
+
+        data = make_dense_classification(50, 4, seed=16)
+        database = Database("postgres", seed=0)
+        table = load_classification_table(database, "points", data.examples, sparse=False)
+        task = LogisticRegressionTask(data.dimension)
+        plan = ChunkPlan.resolve(table, task, database.executor.example_cache, 16)
+        assert plan is not None
+        assert plan.num_examples == 50
+        assert len(plan) == 4  # ceil(50 / 16) chunks
+        partitions = plan.worker_partitions(3)
+        assert [len(p) for p in partitions] == [17, 17, 16]
+        assert sorted(i for p in partitions for i in p) == list(range(50))
+
+    def test_resolve_refuses_unbatchable(self):
+        from repro.db.chunk_plan import ChunkPlan
+
+        data = make_dense_classification(10, 4, seed=17)
+        database = Database("postgres", seed=0)
+        table = load_classification_table(database, "points", data.examples, sparse=False)
+        cache = database.executor.example_cache
+        assert ChunkPlan.resolve(table, None, cache, 16) is None
+        assert ChunkPlan.resolve(table, PerTupleOnlyTask(4), cache, 16) is None

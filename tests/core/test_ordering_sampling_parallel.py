@@ -178,6 +178,7 @@ class TestSamplingRunners:
         assert result.epochs_to_reach(-1.0) is None
 
 
+@pytest.mark.backends
 class TestSharedMemoryEpoch:
     @pytest.fixture
     def workload(self):
@@ -250,6 +251,7 @@ class TestSharedMemoryEpoch:
         assert SharedMemoryParallelism(scheme="nolock", workers=8, staleness=3).effective_staleness() == 3
 
 
+@pytest.mark.backends
 class TestSpeedupModel:
     def test_partition_round_robin(self):
         partitions = partition_round_robin(10, 3)

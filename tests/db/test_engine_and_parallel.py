@@ -41,6 +41,7 @@ class TestPersonalities:
         assert DBMS_B.default_segments == 8
 
 
+@pytest.mark.backends
 class TestSegmentedDatabase:
     @pytest.fixture
     def seg_db(self):
@@ -93,6 +94,7 @@ class TestSegmentedDatabase:
         assert database.num_segments == 8
 
 
+@pytest.mark.backends
 class TestSharedMemory:
     def test_allocate_and_attach(self):
         arena = SharedMemoryArena()

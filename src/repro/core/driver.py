@@ -34,6 +34,11 @@ class IGDConfig:
 
     step_size: StepSizeSchedule | float | dict = 0.1
     max_epochs: int = 20
+    #: Data-ordering policy.  Shuffle policies named by string default to
+    #: *logical* mode — they hand the backends a permutation over a stable
+    #: table version instead of rewriting the heap, so the example cache
+    #: survives re-shuffles; pass e.g. ``ShuffleAlways(mode="physical")`` to
+    #: get the paper's physical rewrite (the engine-overhead experiments do).
     ordering: OrderingPolicy | str | None = "shuffle_once"
     stopping: StoppingRule | int | dict | None = None
     parallelism: PureUDAParallelism | SharedMemoryParallelism | None = None
@@ -153,9 +158,9 @@ class BismarckRunner:
         table = self._master_table(table_name)
         total_start = time.perf_counter()
 
-        shuffles_before = ordering.shuffle_count
+        version_before = table.version
         ordering.prepare(table, rng)
-        self._maybe_redistribute(table_name, ordering, shuffles_before)
+        self._maybe_redistribute(table_name, version_before)
 
         model = initial_model.copy() if initial_model is not None else self.task.initial_model(rng)
         step_offset = 0
@@ -164,12 +169,13 @@ class BismarckRunner:
 
         for epoch in range(config.max_epochs):
             epoch_start = time.perf_counter()
-            shuffles_before = ordering.shuffle_count
+            version_before = table.version
             ordering.before_epoch(table, epoch, rng)
-            self._maybe_redistribute(table_name, ordering, shuffles_before)
+            self._maybe_redistribute(table_name, version_before)
 
             model, steps = self._run_epoch(
-                table_name, table, model, schedule, proximal, epoch, step_offset
+                table_name, table, model, schedule, proximal, epoch, step_offset,
+                ordering, rng,
             )
             step_offset += steps
 
@@ -206,13 +212,16 @@ class BismarckRunner:
             return self.database.master.table(table_name)
         return self.database.table(table_name)
 
-    def _maybe_redistribute(
-        self, table_name: str, ordering: OrderingPolicy, shuffles_before: int
-    ) -> None:
-        """Re-partition segments after the ordering policy touched the heap."""
+    def _maybe_redistribute(self, table_name: str, version_before: int) -> None:
+        """Re-partition segments after the ordering policy touched the heap.
+
+        Keyed on the table's mutation counter, so *logical* shuffles — which
+        never rewrite the heap — keep the existing segment tables (and their
+        example-cache entries) alive across epochs.
+        """
         if not isinstance(self.database, SegmentedDatabase):
             return
-        if ordering.shuffle_count != shuffles_before or ordering.name == "clustered":
+        if self.database.master.table(table_name).version != version_before:
             self.database.redistribute(table_name)
 
     def _parallelism_name(self) -> str:
@@ -232,6 +241,8 @@ class BismarckRunner:
         proximal: ProximalOperator,
         epoch: int,
         step_offset: int,
+        ordering: OrderingPolicy,
+        rng: np.random.Generator,
     ) -> tuple[Model, int]:
         spec = self.config.parallelism
 
@@ -258,6 +269,7 @@ class BismarckRunner:
                 arena=engine.shared_memory,
                 charge_per_tuple=engine.executor._charge_overhead,
                 cache=cache,
+                row_order=ordering.epoch_row_order(len(table), epoch, rng),
             )
             return updated, steps
 
@@ -285,8 +297,20 @@ class BismarckRunner:
                 epoch=epoch,
                 step_offset=step_offset,
             )
+            # Logical shuffles permute each shared-nothing segment in place
+            # (rows never migrate between segments, exactly like independent
+            # segment-local ORDER BY RANDOM() runs — the partition index keys
+            # each segment's own permutation), so per-segment example caches
+            # survive every re-shuffle.
+            segment_orders: list | None = [
+                ordering.epoch_row_order(len(segment), epoch, rng, partition=index)
+                for index, segment in enumerate(self.database.segments_of(table_name))
+            ]
+            if all(order is None for order in segment_orders):
+                segment_orders = None
             outcome = self.database.run_parallel_aggregate(
-                table_name, factory, execution=self.config.execution
+                table_name, factory, segment_row_orders=segment_orders,
+                execution=self.config.execution,
             )
             updated: Model = outcome.value
             steps = int(updated.metadata.get("gradient_steps", len(table))) - step_offset
@@ -298,7 +322,12 @@ class BismarckRunner:
             engine = self.database.master
         else:
             engine = self.database
-        updated = engine.run_aggregate(table_name, aggregate, execution=self.config.execution)
+        updated = engine.run_aggregate(
+            table_name,
+            aggregate,
+            row_order=ordering.epoch_row_order(len(table), epoch, rng),
+            execution=self.config.execution,
+        )
         steps = int(updated.metadata.get("gradient_steps", len(table))) - step_offset
         return updated, max(steps, 0)
 

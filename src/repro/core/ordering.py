@@ -6,34 +6,59 @@ be pathologically slow.  The paper's remedy is to shuffle the data **once**
 before the first epoch: nearly the per-epoch convergence rate of shuffling
 every epoch, without paying the shuffle cost each time.
 
-Policies physically reorder the heap table (the analogue of materialising
-``ORDER BY RANDOM()``), so their wall-clock cost is real and shows up in the
-epoch timings the experiments report.
+The shuffle policies support two modes:
+
+* ``mode="logical"`` (the default) — the policy produces a *permutation* over
+  a stable table version instead of rewriting the heap.  The driver feeds the
+  permutation to the execution backends as an explicit row order, which the
+  chunk plane serves by gathering from its cached decoded examples.  Because
+  the table is never mutated, the example cache survives re-shuffles:
+  shuffle-always stops re-decoding every epoch.
+* ``mode="physical"`` — the original behaviour: the policy physically
+  reorders the heap table (the analogue of materialising ``ORDER BY
+  RANDOM()``), so its wall-clock cost is real and shows up in the epoch
+  timings.  The engine-overhead and Figure 8 experiments use this mode, since
+  the physical shuffle cost is exactly what they measure.
+
+In both modes ``shuffle_seconds`` / ``shuffle_count`` accumulate the time and
+number of reorder events (physical rewrites, or permutation generations in
+logical mode — segmented runs generate one permutation per segment).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..db.table import Table
 
+ORDERING_MODES = ("physical", "logical")
+
 
 class OrderingPolicy:
-    """Decides how the data is physically ordered before / between epochs."""
+    """Decides how the data is ordered before / between epochs."""
 
     #: Machine-readable policy name (used by configs and reports).
     name: str = "ordering"
 
-    def __init__(self) -> None:
+    def __init__(self, mode: str = "physical") -> None:
+        if mode not in ORDERING_MODES:
+            raise ValueError(
+                f"unknown ordering mode {mode!r}; expected one of {ORDERING_MODES}"
+            )
+        self.mode = mode
         #: Total wall-clock seconds spent reordering data, accumulated across
         #: the run; the driver folds this into epoch timings but experiments
         #: can also report it separately.
         self.shuffle_seconds: float = 0.0
-        #: Number of physical shuffles performed.
+        #: Number of reorder events (physical shuffles or, in logical mode,
+        #: permutation generations).
         self.shuffle_count: int = 0
+
+    @property
+    def logical(self) -> bool:
+        return self.mode == "logical"
 
     def prepare(self, table: Table, rng: np.random.Generator) -> None:
         """Called once before the first epoch."""
@@ -41,11 +66,33 @@ class OrderingPolicy:
     def before_epoch(self, table: Table, epoch: int, rng: np.random.Generator) -> None:
         """Called before every epoch (including the first)."""
 
+    def epoch_row_order(
+        self, num_rows: int, epoch: int, rng: np.random.Generator, *, partition: int = 0
+    ) -> np.ndarray | None:
+        """Logical visit order for this epoch; ``None`` means physical order.
+
+        Serial and shared-memory backends ask with the table's length; the
+        segmented backend asks once per segment, passing the segment index as
+        ``partition`` so that equal-length segments still draw *independent*
+        permutations (like independent segment-local ``ORDER BY RANDOM()``
+        runs).  Repeated calls with the same (epoch, partition, row count)
+        return the same order.  Physical-mode policies always return
+        ``None``: the heap itself carries the order.
+        """
+        return None
+
     def _timed_shuffle(self, table: Table, rng: np.random.Generator) -> None:
         start = time.perf_counter()
         table.shuffle(rng)
         self.shuffle_seconds += time.perf_counter() - start
         self.shuffle_count += 1
+
+    def _timed_permutation(self, num_rows: int, rng: np.random.Generator) -> np.ndarray:
+        start = time.perf_counter()
+        permutation = rng.permutation(num_rows)
+        self.shuffle_seconds += time.perf_counter() - start
+        self.shuffle_count += 1
+        return permutation
 
     def describe(self) -> str:
         return self.name
@@ -56,13 +103,28 @@ class ClusteredOrder(OrderingPolicy):
 
     If ``cluster_column`` is given the table is physically clustered on it
     during :meth:`prepare`, reproducing the "data clustered by class label"
-    scenario of the CA-TX example.
+    scenario of the CA-TX example.  Clustering is inherently a physical
+    rewrite (and happens at most once per run, so the example cache rebuilds
+    at most once); the policy has no logical mode, but accepts
+    ``mode="physical"`` so callers can forward a uniform ``mode`` kwarg
+    through :func:`make_ordering`.
     """
 
     name = "clustered"
 
-    def __init__(self, cluster_column: str | None = None, *, descending: bool = False):
-        super().__init__()
+    def __init__(
+        self,
+        cluster_column: str | None = None,
+        *,
+        descending: bool = False,
+        mode: str = "physical",
+    ):
+        if mode != "physical":
+            raise ValueError(
+                "clustered ordering is a physical rewrite by definition; "
+                f"mode {mode!r} is not supported"
+            )
+        super().__init__(mode)
         self.cluster_column = cluster_column
         self.descending = descending
 
@@ -72,21 +134,75 @@ class ClusteredOrder(OrderingPolicy):
 
 
 class ShuffleOnce(OrderingPolicy):
-    """Shuffle the table once, before the first epoch (the paper's remedy)."""
+    """Shuffle the data once, before the first epoch (the paper's remedy).
+
+    In logical mode (the default) one permutation per row count is generated
+    lazily on first use and then reused by every epoch, so the cached chunk
+    plane decodes the table exactly once per training run and serves every
+    epoch with the same gathered order.
+    """
 
     name = "shuffle_once"
 
+    def __init__(self, mode: str = "logical"):
+        super().__init__(mode)
+        self._permutations: dict[tuple[int, int], np.ndarray] = {}
+
     def prepare(self, table: Table, rng: np.random.Generator) -> None:
-        self._timed_shuffle(table, rng)
+        if self.logical:
+            # A reused policy object starts each training run with fresh
+            # permutations, mirroring how physical mode reshuffles the heap.
+            self._permutations.clear()
+        else:
+            self._timed_shuffle(table, rng)
+
+    def epoch_row_order(
+        self, num_rows: int, epoch: int, rng: np.random.Generator, *, partition: int = 0
+    ) -> np.ndarray | None:
+        if not self.logical:
+            return None
+        key = (partition, num_rows)
+        if key not in self._permutations:
+            self._permutations[key] = self._timed_permutation(num_rows, rng)
+        return self._permutations[key]
 
 
 class ShuffleAlways(OrderingPolicy):
-    """Shuffle the table before every epoch (the machine-learning default)."""
+    """Shuffle the data before every epoch (the machine-learning default).
+
+    In logical mode (the default) each epoch gets a fresh permutation over
+    the *stable* table version: the heap is never rewritten, so the example
+    cache survives every re-shuffle and no epoch re-decodes a single tuple.
+    """
 
     name = "shuffle_always"
 
+    def __init__(self, mode: str = "logical"):
+        super().__init__(mode)
+        self._epoch: int | None = None
+        self._permutations: dict[tuple[int, int], np.ndarray] = {}
+
+    def prepare(self, table: Table, rng: np.random.Generator) -> None:
+        if self.logical:
+            self._epoch = None
+            self._permutations = {}
+
     def before_epoch(self, table: Table, epoch: int, rng: np.random.Generator) -> None:
-        self._timed_shuffle(table, rng)
+        if not self.logical:
+            self._timed_shuffle(table, rng)
+
+    def epoch_row_order(
+        self, num_rows: int, epoch: int, rng: np.random.Generator, *, partition: int = 0
+    ) -> np.ndarray | None:
+        if not self.logical:
+            return None
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self._permutations = {}
+        key = (partition, num_rows)
+        if key not in self._permutations:
+            self._permutations[key] = self._timed_permutation(num_rows, rng)
+        return self._permutations[key]
 
 
 _POLICIES = {
@@ -97,9 +213,13 @@ _POLICIES = {
 
 
 def make_ordering(spec: "OrderingPolicy | str | None", **kwargs) -> OrderingPolicy:
-    """Coerce a policy name (or an existing policy) into an OrderingPolicy."""
+    """Coerce a policy name (or an existing policy) into an OrderingPolicy.
+
+    Keyword arguments are forwarded to the policy constructor, e.g.
+    ``make_ordering("shuffle_always", mode="physical")``.
+    """
     if spec is None:
-        return ShuffleOnce()
+        return ShuffleOnce(**kwargs)
     if isinstance(spec, OrderingPolicy):
         return spec
     try:

@@ -125,6 +125,12 @@ def run_subsampling(
     The per-epoch objective is evaluated on the *full* dataset (or
     ``objective_examples`` if provided), which is what makes subsampling's
     slow convergence visible.
+
+    Capacity edge: ``buffer_size >= len(examples)`` keeps every tuple (the
+    reservoir never overflows, preserving insertion order), so the run
+    degenerates to plain IGD over the stored order — identical to
+    :func:`run_clustered_no_shuffle`.  This is what makes the Figure 10(B)
+    sweep well-defined at buffer fraction 1.0.
     """
     import time
 
@@ -182,6 +188,16 @@ def run_multiplexed_reservoir_sampling(
     how the paper reports Figure 10).  ``memory_steps_per_io`` controls how many
     buffered gradient steps the memory worker interleaves per streamed tuple —
     the analogue of the relative speeds of the two workers.
+
+    Capacity edge: the reservoir is deliberately capped at ``len(examples) - 1``
+    even when ``buffer_size >= len(examples)``.  A reservoir that swallows the
+    whole stream would never drop a tuple, so the I/O worker — which trains
+    exclusively on dropped tuples — would take zero gradient steps and the
+    first epoch would do no work at all.  Capping at ``n - 1`` guarantees at
+    least one drop per pass, keeping the Figure 10(B) sweep well-defined at
+    buffer fraction 1.0 (where subsampling degenerates to full-data IGD; see
+    :func:`run_subsampling`).  ``SamplingRunResult.buffer_size`` reports the
+    effective (capped) capacity.
     """
     import time
 

@@ -248,10 +248,28 @@ class Executor:
             self._example_cache = ExampleCache()
         return self._example_cache
 
-    def chunk_plan(self, table: Table, instance: UserDefinedAggregate) -> ChunkPlan | None:
-        """Resolve the backend-neutral chunk plan for one aggregate pass."""
+    def chunk_plan(
+        self,
+        table: Table,
+        instance: UserDefinedAggregate,
+        *,
+        where: Expression | None = None,
+        row_order: Sequence[int] | None = None,
+    ) -> ChunkPlan | None:
+        """Resolve the backend-neutral chunk plan for one aggregate pass.
+
+        ``where`` is served by a selection vector cached once per (table,
+        version, predicate); ``row_order`` by a vectorized gather over the
+        cached batches — neither forces per-tuple execution any more.
+        """
         return ChunkPlan.resolve(
-            table, instance.chunk_decoder, self.example_cache, self.chunk_size
+            table,
+            instance.chunk_decoder,
+            self.example_cache,
+            self.chunk_size,
+            where=where,
+            row_order=row_order,
+            functions=self.functions,
         )
 
     def consume_chunk_plan(
@@ -276,9 +294,16 @@ class Executor:
             raise ExecutionError("overhead accumulator underflow")
         return state
 
-    def _run_aggregate_chunked(self, table: Table, instance: UserDefinedAggregate) -> Any:
+    def _run_aggregate_chunked(
+        self,
+        table: Table,
+        instance: UserDefinedAggregate,
+        *,
+        where: Expression | None = None,
+        row_order: Sequence[int] | None = None,
+    ) -> Any:
         """Batch-at-a-time aggregation over cached columnar example batches."""
-        plan = self.chunk_plan(table, instance)
+        plan = self.chunk_plan(table, instance, where=where, row_order=row_order)
         if plan is None:
             return _CHUNKS_UNSUPPORTED
         return instance.terminate(self.consume_chunk_plan(table, instance, plan))
@@ -303,16 +328,21 @@ class Executor:
         paper's tuple-at-a-time UDA protocol), ``"chunked"`` (batch-at-a-time
         over cached columnar examples; raises if the aggregate/table cannot
         chunk), or ``"auto"`` (chunked when possible, silent per-tuple
-        fallback).  Filters and explicit row orders always run per-tuple.
+        fallback).  WHERE filters ride the chunk plane through a selection
+        vector cached once per (table, version, predicate); explicit row
+        orders through a vectorized gather over the cached batches — both
+        produce bit-for-bit the per-tuple models.
         """
         if execution not in ("per_tuple", "chunked", "auto"):
             raise ExecutionError(f"unknown execution mode {execution!r}")
         instance = (
             self.aggregates.create(aggregate) if isinstance(aggregate, str) else aggregate
         )
-        if execution != "per_tuple" and where is None and row_order is None:
+        if execution != "per_tuple":
             if instance.supports_chunks:
-                outcome = self._run_aggregate_chunked(table, instance)
+                outcome = self._run_aggregate_chunked(
+                    table, instance, where=where, row_order=row_order
+                )
                 if outcome is not _CHUNKS_UNSUPPORTED:
                     return outcome
             if execution == "chunked":
@@ -320,10 +350,6 @@ class Executor:
                     f"aggregate {type(instance).__name__} cannot run chunked over "
                     f"table {table.name!r} (unsupported aggregate, task or column types)"
                 )
-        elif execution == "chunked":
-            raise ExecutionError(
-                "chunked execution does not support WHERE filters or explicit row orders"
-            )
         argument_expression: Expression | None
         if isinstance(argument, str):
             from .expressions import ColumnRef
@@ -337,6 +363,11 @@ class Executor:
         if row_order is None:
             row_iter: Iterable[Row] = table.scan()
         else:
+            # One logical scan per ordered pass: row_at random access does not
+            # touch the statistics itself, but shuffle-always/MRS-style ordered
+            # passes read every tuple and must show up in the scan counts the
+            # overhead/scalability experiments report.
+            table.scan_count += 1
             row_iter = (table.row_at(i) for i in row_order)
         for row in row_iter:
             if where is not None and not bool(where.evaluate(row, self.functions)):

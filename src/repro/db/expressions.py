@@ -26,6 +26,14 @@ class Expression:
         """Column names referenced anywhere in this expression."""
         return set()
 
+    def referenced_functions(self) -> set[str]:
+        """Lower-cased UDF names referenced anywhere in this expression.
+
+        Lets caches that memoise predicate evaluations key on the *current*
+        function bindings, so re-registering a UDF invalidates them.
+        """
+        return set()
+
 
 @dataclass(frozen=True)
 class Literal(Expression):
@@ -128,6 +136,9 @@ class UnaryOp(Expression):
     def referenced_columns(self) -> set[str]:
         return self.operand.referenced_columns()
 
+    def referenced_functions(self) -> set[str]:
+        return self.operand.referenced_functions()
+
 
 @dataclass(frozen=True)
 class FunctionCall(Expression):
@@ -152,15 +163,26 @@ class FunctionCall(Expression):
             referenced |= arg.referenced_columns()
         return referenced
 
+    def referenced_functions(self) -> set[str]:
+        referenced = {self.name.lower()}
+        for arg in self.args:
+            referenced |= arg.referenced_functions()
+        return referenced
+
 
 def _collect_binary_columns(expr: BinaryOp) -> set[str]:
     return expr.left.referenced_columns() | expr.right.referenced_columns()
 
 
+def _collect_binary_functions(expr: BinaryOp) -> set[str]:
+    return expr.left.referenced_functions() | expr.right.referenced_functions()
+
+
 # dataclasses with frozen=True cannot easily override methods declared on the
-# base class through the dataclass machinery alone; attach the column
-# collection for BinaryOp explicitly.
+# base class through the dataclass machinery alone; attach the column and
+# function collection for BinaryOp explicitly.
 BinaryOp.referenced_columns = _collect_binary_columns  # type: ignore[method-assign]
+BinaryOp.referenced_functions = _collect_binary_functions  # type: ignore[method-assign]
 
 
 def evaluate_all(

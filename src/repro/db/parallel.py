@@ -126,10 +126,14 @@ class SegmentedDatabase:
         """Run a UDA independently on every segment and merge the results.
 
         ``segment_row_orders`` optionally gives an explicit visit order per
-        segment (used by the ordering policies).  The aggregate must support
-        ``merge``; otherwise the call degrades to a single-segment run on the
-        master copy, mirroring how an RDBMS falls back to serial aggregation
-        for non-algebraic aggregates.
+        segment (used by the logical ordering policies).  The aggregate must
+        support ``merge``; otherwise the call degrades to a single-segment run
+        on the master copy, mirroring how an RDBMS falls back to serial
+        aggregation for non-algebraic aggregates.  The fallback honours
+        ``segment_row_orders`` only when there is exactly one segment (whose
+        layout matches the master row for row); with several segments the
+        per-segment orders cannot be replayed serially and the call raises
+        rather than silently training in stored heap order.
 
         ``execution`` selects the per-segment code path, with the same
         contract as :meth:`Executor.run_aggregate`: ``"auto"`` (the default)
@@ -147,9 +151,21 @@ class SegmentedDatabase:
         segments = self.segments_of(table_name)
         probe = aggregate_factory()
         if not probe.supports_merge or self.num_segments == 1:
+            # The single-segment layout matches the master copy row for row,
+            # so its visit order applies directly; multi-segment orders are
+            # segment-local and cannot be replayed on the master fallback, so
+            # refusing beats silently training in stored heap order.
+            order = None
+            if segment_row_orders is not None:
+                if self.num_segments > 1:
+                    raise ExecutionError(
+                        f"aggregate {type(probe).__name__} does not support merge; "
+                        "the serial fallback cannot honour per-segment row orders"
+                    )
+                order = segment_row_orders[0]
             value = self.master.executor.run_aggregate(
                 self.master.table(table_name), probe, argument,
-                where=where, execution=execution,
+                where=where, row_order=order, execution=execution,
             )
             return ParallelAggregateResult(
                 value=value,
@@ -202,9 +218,11 @@ class SegmentedDatabase:
         instead of once per tuple per epoch.
         """
         executor = self.master.executor
-        if execution != "per_tuple" and where is None and row_order is None:
+        if execution != "per_tuple":
             if instance.supports_chunks:
-                plan = executor.chunk_plan(segment, instance)
+                plan = executor.chunk_plan(
+                    segment, instance, where=where, row_order=row_order
+                )
                 if plan is not None:
                     return executor.consume_chunk_plan(segment, instance, plan)
             if execution == "chunked":
@@ -212,10 +230,6 @@ class SegmentedDatabase:
                     f"aggregate {type(instance).__name__} cannot run chunked over "
                     f"segment {segment.name!r} (unsupported aggregate, task or column types)"
                 )
-        elif execution == "chunked":
-            raise ExecutionError(
-                "chunked execution does not support WHERE filters or explicit row orders"
-            )
         argument_expression: Expression | None
         if isinstance(argument, str):
             from .expressions import ColumnRef
@@ -228,6 +242,8 @@ class SegmentedDatabase:
         if row_order is None:
             rows = segment.scan()
         else:
+            # Ordered per-tuple passes count one logical scan, like scan().
+            segment.scan_count += 1
             rows = (segment.row_at(i) for i in row_order)
         for row in rows:
             if where is not None and not bool(where.evaluate(row, executor.functions)):

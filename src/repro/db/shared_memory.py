@@ -193,12 +193,19 @@ def run_shared_memory_epoch(
     segment_name: str = "bismarck_model",
     charge_per_tuple=None,
     cache: "ExampleCache | None" = None,
+    row_order: "Sequence[int] | None" = None,
 ) -> "tuple[Model, int]":
     """Run one epoch of shared-memory parallel IGD.
 
     ``examples`` is either a Table (rows are converted through the task) or a
     sequence of already-converted examples.  Returns the updated model and the
     number of gradient steps taken.
+
+    ``row_order`` optionally imposes a logical visit order (a permutation of
+    example ordinals): workers then partition the *permuted* ordinal sequence.
+    On the cached path this is a zero-copy gather of the cached decoded
+    example list, so logical shuffle-once / shuffle-always re-orders epochs
+    without invalidating the cache or re-decoding a single tuple.
 
     ``cache`` optionally points at an :class:`~repro.tasks.base.ExampleCache`
     (normally the engine executor's): the table is then decoded once per table
@@ -241,6 +248,10 @@ def run_shared_memory_epoch(
             if charge_per_tuple is not None:
                 charge_per_tuple()
             materialized.append(task.example_from_row(item) if isinstance(item, Row) else item)
+    if row_order is not None:
+        # Zero-copy gather: the permuted list shares the decoded examples, so
+        # a cached epoch under a fresh logical shuffle re-decodes nothing.
+        materialized = [materialized[int(i)] for i in row_order]
     num_examples = len(materialized)
     if num_examples == 0:
         return model, 0

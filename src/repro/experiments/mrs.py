@@ -154,8 +154,12 @@ def run_buffer_size_experiment(
     step_size = {"kind": "epoch_decay", "alpha0": 0.05, "decay": 0.92}
 
     # Estimate the optimal objective with a generous shuffled IGD run.
+    # Permute *indices*, never np.array(examples, dtype=object): equal-length
+    # examples would be reshaped into a 2-D object matrix and the "shuffled
+    # reference" would train on row-slices instead of the example objects.
+    shuffle = np.random.default_rng(seed).permutation(len(dataset.examples))
     reference = run_clustered_no_shuffle(
-        list(np.random.default_rng(seed).permutation(np.array(dataset.examples, dtype=object))),
+        [dataset.examples[i] for i in shuffle],
         task,
         step_size=step_size,
         epochs=epochs * 2,

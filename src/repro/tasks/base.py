@@ -169,6 +169,65 @@ class ExampleBatch:
         if hi > lo:
             w[self.indices[lo:hi]] += scalar * self.data[lo:hi]
 
+    # ------------------------------------------------------- gather kernels
+    def take(self, indices: np.ndarray) -> "ExampleBatch":
+        """Row gather: a new batch holding rows ``indices`` in that order.
+
+        This is the selection/permutation kernel of the chunk plane: WHERE
+        masks and logical row orders are applied as one vectorized gather
+        over the cached batch instead of per-tuple ``row_at`` loops.  Dense
+        rows gather with fancy indexing; sparse rows with the standard CSR
+        row-gather (per-row segment copy), so the gathered rows hold exactly
+        the same float values as the originals.
+        """
+        indices = np.asarray(indices, dtype=np.intp)
+        y = self.y[indices]
+        if self.kind == "dense":
+            return ExampleBatch("dense", X=self.X[indices], y=y, dimension=self.dimension)
+        counts = self.indptr[indices + 1] - self.indptr[indices]
+        indptr = np.zeros(indices.shape[0] + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        total = int(indptr[-1])
+        # Element positions: each gathered row k copies the contiguous source
+        # run indptr_src[indices[k]] .. + counts[k].
+        starts = np.repeat(self.indptr[indices], counts)
+        within = np.arange(total, dtype=np.intp) - np.repeat(indptr[:-1], counts)
+        element = starts + within
+        return ExampleBatch(
+            "sparse",
+            indptr=indptr,
+            indices=self.indices[element],
+            data=self.data[element],
+            y=y,
+            dimension=self.dimension,
+        )
+
+    @classmethod
+    def concat(cls, batches: "list[ExampleBatch]") -> "ExampleBatch":
+        """Concatenate batches of the same kind into one batch."""
+        if len(batches) == 1:
+            return batches[0]
+        first = batches[0]
+        y = np.concatenate([batch.y for batch in batches])
+        if first.kind == "dense":
+            return cls(
+                "dense",
+                X=np.concatenate([batch.X for batch in batches]),
+                y=y,
+                dimension=first.dimension,
+            )
+        counts = np.concatenate([np.diff(batch.indptr) for batch in batches])
+        indptr = np.zeros(y.shape[0] + 1, dtype=np.intp)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(
+            "sparse",
+            indptr=indptr,
+            indices=np.concatenate([batch.indices for batch in batches]),
+            data=np.concatenate([batch.data for batch in batches]),
+            y=y,
+            dimension=first.dimension,
+        )
+
     def __repr__(self) -> str:
         return f"ExampleBatch(kind={self.kind!r}, rows={self.length}, dim={self.dimension})"
 
@@ -264,6 +323,12 @@ class ExampleCache:
         self._entries: dict[tuple, _CacheEntry] = {}
         self.hits = 0
         self.misses = 0
+        # Derived entries (selection vectors and other per-version artefacts)
+        # keep their own counters so decode statistics stay meaningful: a
+        # ``misses`` that stays flat across epochs means zero re-decodes even
+        # when selections are being resolved alongside.
+        self.derived_hits = 0
+        self.derived_misses = 0
 
     def batches_for(
         self, table: "Table", task: "Task", chunk_size: int
@@ -276,6 +341,7 @@ class ExampleCache:
         entry = self._entries.get(key)
         if entry is not None and entry.valid_for(table, version):
             self.hits += 1
+            self._touch(key)
             return entry.payload
         self.misses += 1
         batches: list[ExampleBatch] | None = []
@@ -302,11 +368,108 @@ class ExampleCache:
         entry = self._entries.get(key)
         if entry is not None and entry.valid_for(table, version):
             self.hits += 1
+            self._touch(key)
             return entry.payload
         self.misses += 1
         examples = [task.example_from_row(row) for row in table.to_rows()]
         self._store(key, entry, table, version, examples, task)
         return examples
+
+    def derived_for(self, table: "Table", key: tuple, pin: Any, build) -> Any:
+        """Cache an arbitrary per-version artefact derived from ``table``.
+
+        ``key`` identifies the artefact (selection vectors, gathered chunk
+        lists); entries share the table/version invalidation of the decoded
+        batches but keep their own hit/miss counters, so decode statistics
+        stay meaningful.  ``pin`` keeps any identity-keyed objects alive for
+        the entry's lifetime so their ``id()`` cannot be recycled.
+        """
+        full_key = (table.name, "derived") + tuple(key)
+        version = table.version
+        entry = self._entries.get(full_key)
+        if entry is not None and entry.valid_for(table, version):
+            self.derived_hits += 1
+            self._touch(full_key)
+            return entry.payload
+        self.derived_misses += 1
+        payload = build()
+        self._store(full_key, entry, table, version, payload, pin)
+        return payload
+
+    def gathered_for(
+        self, table: "Table", slot_key: tuple, identity: tuple, pin: Any, build
+    ) -> Any:
+        """Single-slot variant of :meth:`derived_for` for gathered chunk lists.
+
+        The cache key is the *slot* (table, decoder, chunk size) only; the
+        order/selection ``identity`` is stored with the payload and checked on
+        hit.  A new identity **replaces** the previous occupant instead of
+        accumulating beside it, so per-epoch orders (logical shuffle-always)
+        hold exactly one dataset-sized gathered copy at a time rather than
+        filling the cache with dead single-use entries.
+        """
+        full_key = (table.name, "derived") + tuple(slot_key)
+        version = table.version
+        entry = self._entries.get(full_key)
+        if (
+            entry is not None
+            and entry.valid_for(table, version)
+            and entry.payload[0] == identity
+        ):
+            self.derived_hits += 1
+            self._touch(full_key)
+            return entry.payload[1]
+        self.derived_misses += 1
+        payload = (identity, build())
+        self._store(full_key, entry, table, version, payload, pin)
+        return payload[1]
+
+    def selection_for(
+        self, table: "Table", predicate: Any, functions: Mapping[str, Any] | None = None
+    ) -> np.ndarray:
+        """Cached boolean selection vector of ``predicate`` over ``table``.
+
+        The predicate (an :class:`~repro.db.expressions.Expression`) is
+        evaluated once per *table version* — not once per tuple per epoch —
+        into a ``(len(table),)`` bool mask, which the chunk plane applies as a
+        batch take/mask over cached example batches.  Predicates are assumed
+        deterministic; entries share the version-keyed invalidation of the
+        decoded batches.  Hashable (frozen-dataclass) predicates are keyed
+        structurally so equal predicates built by different callers share one
+        vector; unhashable ones fall back to identity keying.  The key also
+        carries the identity of every UDF the predicate references, so
+        re-registering a function under the same name invalidates the vector
+        instead of serving a mask computed with the old binding.
+        """
+        function_map = dict(functions) if functions else {}
+        bindings = tuple(
+            function_map.get(name)
+            for name in sorted(predicate.referenced_functions())
+        )
+        try:
+            hash(predicate)
+            predicate_key: Any = predicate
+        except TypeError:
+            predicate_key = id(predicate)
+        key = ("selection", predicate_key, tuple(id(f) for f in bindings))
+
+        def build() -> np.ndarray:
+            return np.fromiter(
+                (bool(predicate.evaluate(row, function_map)) for row in table.to_rows()),
+                dtype=np.bool_,
+                count=len(table),
+            )
+
+        return self.derived_for(table, key, (predicate, bindings), build)
+
+    def _touch(self, key: tuple) -> None:
+        """Move an entry to the back of the eviction order (LRU on hit).
+
+        Keeps hot entries — notably the decoded base batches that every
+        epoch's gathers are built from — alive while per-epoch derived
+        artefacts (e.g. shuffle-always gathered plans) age out first.
+        """
+        self._entries[key] = self._entries.pop(key)
 
     def _store(
         self, key: tuple, entry: "_CacheEntry | None", table: "Table",
@@ -456,6 +619,23 @@ class DecodedExampleBatch:
 
     def __len__(self) -> int:
         return len(self.examples)
+
+    # ------------------------------------------------------- gather kernels
+    # Subclasses carrying extra per-example arrays (e.g. the CRF's
+    # SequenceBatch) must override both kernels to gather those arrays too —
+    # the base implementations return a plain DecodedExampleBatch.
+    def take(self, indices) -> "DecodedExampleBatch":
+        """Example gather: rows ``indices`` of this batch, in that order."""
+        examples = self.examples
+        return DecodedExampleBatch([examples[int(i)] for i in indices])
+
+    @classmethod
+    def concat(cls, batches: "list[DecodedExampleBatch]") -> "DecodedExampleBatch":
+        if len(batches) == 1:
+            return batches[0]
+        return DecodedExampleBatch(
+            [example for batch in batches for example in batch.examples]
+        )
 
     def __repr__(self) -> str:
         return f"DecodedExampleBatch(rows={len(self.examples)})"

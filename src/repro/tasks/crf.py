@@ -89,14 +89,45 @@ class SequenceBatch(DecodedExampleBatch):
 
     __slots__ = ("flat_features", "token_offsets")
 
-    def __init__(self, examples: list[SequenceExample]):
+    def __init__(
+        self,
+        examples: list[SequenceExample],
+        *,
+        flat_features: list[np.ndarray] | None = None,
+        token_offsets: list[np.ndarray] | None = None,
+    ):
         super().__init__(examples)
+        if flat_features is not None and token_offsets is not None:
+            # Gathered/concatenated batches reuse the already-flattened
+            # arrays; re-flattening would re-pay the decode the cache saved.
+            self.flat_features = flat_features
+            self.token_offsets = token_offsets
+            return
         self.flat_features: list[np.ndarray] = []
         self.token_offsets: list[np.ndarray] = []
         for example in examples:
             flat, offsets = _flatten_features(example)
             self.flat_features.append(flat)
             self.token_offsets.append(offsets)
+
+    def take(self, indices) -> "SequenceBatch":
+        """Sequence gather preserving the cached flattened feature arrays."""
+        ordinals = [int(i) for i in indices]
+        return SequenceBatch(
+            [self.examples[i] for i in ordinals],
+            flat_features=[self.flat_features[i] for i in ordinals],
+            token_offsets=[self.token_offsets[i] for i in ordinals],
+        )
+
+    @classmethod
+    def concat(cls, batches: "list[SequenceBatch]") -> "SequenceBatch":
+        if len(batches) == 1:
+            return batches[0]
+        return cls(
+            [example for batch in batches for example in batch.examples],
+            flat_features=[f for batch in batches for f in batch.flat_features],
+            token_offsets=[t for batch in batches for t in batch.token_offsets],
+        )
 
 
 class ConditionalRandomFieldTask(PerExampleChunkTask):

@@ -44,6 +44,21 @@ class RatingBatch:
     def __len__(self) -> int:
         return self.length
 
+    def take(self, indices) -> "RatingBatch":
+        """Entry gather: the observed entries at ``indices``, in that order."""
+        ordinals = np.asarray(indices, dtype=np.intp)
+        return RatingBatch(self.rows[ordinals], self.cols[ordinals], self.values[ordinals])
+
+    @classmethod
+    def concat(cls, batches: "list[RatingBatch]") -> "RatingBatch":
+        if len(batches) == 1:
+            return batches[0]
+        return cls(
+            np.concatenate([batch.rows for batch in batches]),
+            np.concatenate([batch.cols for batch in batches]),
+            np.concatenate([batch.values for batch in batches]),
+        )
+
 
 class LowRankMatrixFactorizationTask(Task):
     """Factorise a partially observed matrix M ~ L @ R.T with rank ``rank``."""

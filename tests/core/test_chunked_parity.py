@@ -686,18 +686,463 @@ class TestBackendChunkParity:
         assert cache.misses == misses_after_first  # second epoch served cached
         assert cache.hits >= 4
 
-    def test_segmented_chunked_rejects_where(self):
-        from repro.db.expressions import ColumnRef
+    def test_segmented_chunked_where_matches_per_tuple(self):
+        """WHERE no longer forces per-tuple execution on segments: every
+        segment filters through its cached selection vector."""
+        from repro.db.expressions import BinaryOp, ColumnRef, Literal
 
-        data = make_dense_classification(20, 4, seed=9)
+        data = make_dense_classification(40, 4, seed=9)
         database = SegmentedDatabase(2, "dbms_b", seed=0)
         load_classification_table(database, "points", data.examples, sparse=False)
         task = LogisticRegressionTask(data.dimension)
         factory = lambda: IGDAggregate(task, 0.05)  # noqa: E731
-        with pytest.raises(ExecutionError):
-            database.run_parallel_aggregate(
-                "points", factory, where=ColumnRef("label"), execution="chunked"
+        predicate = BinaryOp(">", ColumnRef("label"), Literal(0.0))
+        per_tuple = database.run_parallel_aggregate(
+            "points", factory, where=predicate, execution="per_tuple"
+        )
+        chunked = database.run_parallel_aggregate(
+            "points", factory, where=predicate, execution="chunked"
+        )
+        assert np.array_equal(per_tuple.value["w"], chunked.value["w"])
+
+
+# ---------------------------------------------------------------------------
+# Selection vectors and permutations: WHERE / row_order on the chunk plane
+# ---------------------------------------------------------------------------
+EXECUTIONS = ("per_tuple", "chunked", "auto")
+
+
+def _label_predicate():
+    from repro.db.expressions import BinaryOp, ColumnRef, Literal
+
+    return BinaryOp(">", ColumnRef("label"), Literal(0.0))
+
+
+@pytest.mark.backends
+class TestSelectionPermutationParity:
+    """WHERE filters and explicit row orders ride the cached chunk plane and
+    must reproduce the per-tuple path bit for bit, on every backend."""
+
+    def _serial_db(self, *, sparse=False, seed=20):
+        if sparse:
+            data = make_sparse_classification(90, 30, nonzeros_per_example=4, seed=seed)
+        else:
+            data = make_dense_classification(90, 6, seed=seed)
+        database = Database("postgres", seed=0)
+        load_classification_table(database, "points", data.examples, sparse=sparse)
+        return database, data
+
+    def _igd_model(self, database, task, *, where=None, row_order=None, execution="per_tuple"):
+        aggregate = IGDAggregate(task, {"kind": "epoch_decay", "alpha0": 0.05, "decay": 0.9})
+        return database.run_aggregate(
+            "points", aggregate, where=where, row_order=row_order, execution=execution
+        )
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_where_filtered_models_bit_identical(self, sparse):
+        database, data = self._serial_db(sparse=sparse)
+        task = LogisticRegressionTask(data.dimension)
+        predicate = _label_predicate()
+        models = {
+            execution: self._igd_model(database, task, where=predicate, execution=execution)
+            for execution in EXECUTIONS
+        }
+        assert models["per_tuple"].metadata["gradient_steps"] < len(data.examples)
+        assert np.array_equal(models["per_tuple"]["w"], models["chunked"]["w"])
+        assert np.array_equal(models["per_tuple"]["w"], models["auto"]["w"])
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_row_order_models_bit_identical(self, sparse):
+        database, data = self._serial_db(sparse=sparse)
+        task = LogisticRegressionTask(data.dimension)
+        order = np.random.default_rng(3).permutation(len(data.examples))
+        models = {
+            execution: self._igd_model(database, task, row_order=order, execution=execution)
+            for execution in EXECUTIONS
+        }
+        assert np.array_equal(models["per_tuple"]["w"], models["chunked"]["w"])
+        assert np.array_equal(models["per_tuple"]["w"], models["auto"]["w"])
+
+    def test_where_and_row_order_compose(self):
+        database, data = self._serial_db()
+        task = LogisticRegressionTask(data.dimension)
+        order = np.random.default_rng(4).permutation(len(data.examples))
+        predicate = _label_predicate()
+        per_tuple = self._igd_model(
+            database, task, where=predicate, row_order=order, execution="per_tuple"
+        )
+        chunked = self._igd_model(
+            database, task, where=predicate, row_order=order, execution="chunked"
+        )
+        assert np.array_equal(per_tuple["w"], chunked["w"])
+
+    def test_loss_aggregate_where_parity(self):
+        database, data = self._serial_db()
+        task = LogisticRegressionTask(data.dimension)
+        rng = np.random.default_rng(0)
+        model = Model({"w": rng.normal(size=data.dimension)})
+        predicate = _label_predicate()
+        per_tuple = database.run_aggregate(
+            "points", LossAggregate(task, model), where=predicate
+        )
+        chunked = database.run_aggregate(
+            "points", LossAggregate(task, model), where=predicate, execution="chunked"
+        )
+        assert chunked == pytest.approx(per_tuple, abs=1e-9)
+
+    def test_empty_selection_parity(self):
+        from repro.db.expressions import BinaryOp, ColumnRef, Literal
+
+        database, data = self._serial_db()
+        task = LogisticRegressionTask(data.dimension)
+        nothing = BinaryOp(">", ColumnRef("label"), Literal(1e9))
+        per_tuple = self._igd_model(database, task, where=nothing, execution="per_tuple")
+        chunked = self._igd_model(database, task, where=nothing, execution="chunked")
+        assert per_tuple.metadata["gradient_steps"] == 0
+        assert np.array_equal(per_tuple["w"], chunked["w"])
+
+    def test_negative_ordinals_match_row_at(self):
+        database, data = self._serial_db()
+        task = LogisticRegressionTask(data.dimension)
+        order = [-1, 0, -2, 1]
+        per_tuple = self._igd_model(database, task, row_order=order, execution="per_tuple")
+        chunked = self._igd_model(database, task, row_order=order, execution="chunked")
+        assert np.array_equal(per_tuple["w"], chunked["w"])
+
+    def test_crf_row_order_models_bit_identical(self):
+        """Sequence gathers reuse the cached flattened feature arrays."""
+        corpus = make_sequences(24, num_labels=3, seed=3)
+        order = np.random.default_rng(5).permutation(len(corpus.examples))
+        results = {}
+        for execution in ("per_tuple", "chunked"):
+            database = Database("postgres", seed=0)
+            load_sequences_table(database, "seqs", corpus.examples, replace=True)
+            task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+            aggregate = IGDAggregate(task, 0.1)
+            results[execution] = database.run_aggregate(
+                "seqs", aggregate, row_order=order, execution=execution
             )
+        assert np.array_equal(
+            results["per_tuple"]["emission"], results["chunked"]["emission"]
+        )
+        assert np.array_equal(
+            results["per_tuple"]["transition"], results["chunked"]["transition"]
+        )
+
+    def test_lmf_row_order_models_bit_identical(self):
+        """Rating gathers cover the RatingBatch take/concat kernels."""
+        ratings = make_ratings(20, 15, 200, rank=3, seed=6)
+        order = np.random.default_rng(7).permutation(200)
+        results = {}
+        for execution in ("per_tuple", "chunked"):
+            database = Database("postgres", seed=0)
+            load_ratings_table(database, "ratings", ratings.examples, replace=True)
+            task = LowRankMatrixFactorizationTask(
+                ratings.num_rows, ratings.num_cols, rank=3, mu=0.01
+            )
+            aggregate = IGDAggregate(task, 0.05, initial_model=task.initial_model())
+            results[execution] = database.run_aggregate(
+                "ratings", aggregate, row_order=order, execution=execution
+            )
+        assert np.array_equal(results["per_tuple"]["L"], results["chunked"]["L"])
+        assert np.array_equal(results["per_tuple"]["R"], results["chunked"]["R"])
+
+    def test_segmented_row_orders_match_per_tuple(self):
+        data = make_dense_classification(60, 5, seed=21)
+        rng = np.random.default_rng(8)
+        results = {}
+        for execution in ("per_tuple", "chunked"):
+            database = SegmentedDatabase(3, "dbms_b", seed=0)
+            load_classification_table(database, "points", data.examples, sparse=False)
+            orders = [
+                rng.permutation(len(segment))
+                for segment in database.segments_of("points")
+            ]
+            rng = np.random.default_rng(8)  # same orders for both executions
+            task = LogisticRegressionTask(data.dimension)
+            factory = lambda: IGDAggregate(task, 0.05)  # noqa: E731
+            results[execution] = database.run_parallel_aggregate(
+                "points", factory, segment_row_orders=orders, execution=execution
+            )
+        assert np.array_equal(results["per_tuple"].value["w"], results["chunked"].value["w"])
+
+    def test_chunked_filter_still_scans_once(self):
+        database, data = self._serial_db()
+        table = database.table("points")
+        task = LogisticRegressionTask(data.dimension)
+        predicate = _label_predicate()
+        before = table.scan_count
+        self._igd_model(database, task, where=predicate, execution="chunked")
+        assert table.scan_count == before + 1
+
+    def test_selection_vector_cached_per_version(self):
+        database, data = self._serial_db()
+        table = database.table("points")
+        task = LogisticRegressionTask(data.dimension)
+        predicate = _label_predicate()
+        cache = database.executor.example_cache
+        # First pass derives two artefacts: the selection vector and the
+        # gathered (masked) chunk list built from it.
+        self._igd_model(database, task, where=predicate, execution="chunked")
+        assert cache.derived_misses == 2
+        self._igd_model(database, task, where=predicate, execution="chunked")
+        assert cache.derived_misses == 2 and cache.derived_hits == 2
+        table.shuffle(seed=0)  # physical mutation busts both derived entries
+        self._igd_model(database, task, where=predicate, execution="chunked")
+        assert cache.derived_misses == 4
+
+    def test_stale_udf_binding_invalidates_selection(self):
+        """Re-registering a UDF referenced by the predicate must invalidate
+        the cached selection vector — chunked stays bit-for-bit per-tuple."""
+        from repro.db.expressions import ColumnRef, FunctionCall
+
+        database, data = self._serial_db()
+        task = LogisticRegressionTask(data.dimension)
+        predicate = FunctionCall("keep", (ColumnRef("label"),))
+        database.register_function("keep", lambda label: label > 0)
+        first = self._igd_model(database, task, where=predicate, execution="chunked")
+        database.register_function("keep", lambda label: label < 0)
+        chunked = self._igd_model(database, task, where=predicate, execution="chunked")
+        per_tuple = self._igd_model(database, task, where=predicate, execution="per_tuple")
+        assert not np.array_equal(first["w"], chunked["w"])
+        assert np.array_equal(per_tuple["w"], chunked["w"])
+
+    def test_stable_row_order_gathers_once_per_run(self):
+        """A pass-invariant order (logical shuffle_once) gathers once per
+        table version, not once per epoch."""
+        database, data = self._serial_db()
+        task = LogisticRegressionTask(data.dimension)
+        cache = database.executor.example_cache
+        order = np.random.default_rng(11).permutation(len(data.examples))
+        for _ in range(3):
+            self._igd_model(database, task, row_order=order, execution="chunked")
+        assert cache.derived_misses == 1
+        assert cache.derived_hits == 2
+
+
+@pytest.mark.backends
+class TestOrderedScanAccounting:
+    """Satellite regression: ordered passes must be visible in scan stats."""
+
+    def _setup(self):
+        data = make_dense_classification(30, 4, seed=22)
+        database = Database("postgres", seed=0)
+        table = load_classification_table(database, "points", data.examples, sparse=False)
+        return database, table, LogisticRegressionTask(data.dimension)
+
+    @pytest.mark.parametrize("execution", EXECUTIONS)
+    def test_row_order_pass_counts_one_scan(self, execution):
+        database, table, task = self._setup()
+        order = list(range(len(table)))[::-1]
+        before = table.scan_count
+        database.run_aggregate(
+            "points", IGDAggregate(task, 0.05), row_order=order, execution=execution
+        )
+        assert table.scan_count == before + 1
+
+    def test_no_merge_fallback_refuses_multi_segment_orders(self):
+        """A non-merge aggregate cannot replay per-segment orders serially;
+        raising beats silently training in stored heap order."""
+        from repro.db.aggregates import FunctionalAggregate
+
+        data = make_dense_classification(24, 4, seed=26)
+        database = SegmentedDatabase(3, "dbms_b", seed=0)
+        load_classification_table(database, "points", data.examples, sparse=False)
+        factory = lambda: FunctionalAggregate(  # noqa: E731 - no merge support
+            initialize=lambda: 0, transition=lambda state, row: state + 1, wants_row=True
+        )
+        orders = [list(range(len(s))) for s in database.segments_of("points")]
+        with pytest.raises(ExecutionError):
+            database.run_parallel_aggregate("points", factory, segment_row_orders=orders)
+
+    def test_segmented_ordered_pass_counts_one_scan_per_segment(self):
+        data = make_dense_classification(30, 4, seed=23)
+        database = SegmentedDatabase(3, "dbms_b", seed=0)
+        load_classification_table(database, "points", data.examples, sparse=False)
+        segments = database.segments_of("points")
+        orders = [list(range(len(segment)))[::-1] for segment in segments]
+        before = [segment.scan_count for segment in segments]
+        task = LogisticRegressionTask(data.dimension)
+        factory = lambda: IGDAggregate(task, 0.05)  # noqa: E731
+        database.run_parallel_aggregate(
+            "points", factory, segment_row_orders=orders, execution="per_tuple"
+        )
+        assert [segment.scan_count for segment in segments] == [b + 1 for b in before]
+
+
+@pytest.mark.backends
+class TestLogicalOrderingCachePlane:
+    """Logical shuffles keep the example cache alive: zero re-decodes."""
+
+    def _train_logical(self, ordering, *, execution="chunked", epochs=4, parallelism=None,
+                       segmented=False):
+        data = make_dense_classification(120, 6, seed=24)
+        if segmented:
+            database = SegmentedDatabase(4, "dbms_b", seed=0)
+        else:
+            database = Database("postgres", seed=0)
+        load_classification_table(database, "points", data.examples, sparse=False)
+        task = LogisticRegressionTask(data.dimension)
+        result = train(
+            task, database, "points",
+            config=IGDConfig(step_size=STEP, max_epochs=epochs, ordering=ordering,
+                             seed=25, execution=execution, parallelism=parallelism),
+        )
+        return database, result
+
+    def test_shuffle_always_chunked_never_redecodes(self):
+        """The acceptance criterion: after the first epoch, shuffle_always
+        hits the cached batches every epoch — one decode for the whole run."""
+        database, result = self._train_logical("shuffle_always", epochs=4)
+        cache = database.executor.example_cache
+        assert result.epochs_run == 4
+        assert cache.misses == 1  # one decode, shared by IGD and loss passes
+        assert cache.hits == 2 * 4 - 1  # training + loss per epoch, rest hits
+        # Per-epoch gathered plans replace one slot, never accumulate: the
+        # cache holds the base batches entry plus a single gathered slot.
+        assert len(cache) == 2
+
+    def test_physical_shuffle_always_redecodes_each_epoch(self):
+        """The contrast case: physical rewrites bump the version every epoch."""
+        from repro.core.ordering import ShuffleAlways
+
+        database, result = self._train_logical(ShuffleAlways(mode="physical"), epochs=3)
+        cache = database.executor.example_cache
+        assert cache.misses == 3  # one fresh decode per physical shuffle
+
+    def test_logical_equals_physical_shuffle_once(self):
+        """Same rng, same permutation: serving the shuffle as a row order is
+        bit-for-bit the physically shuffled run."""
+        from repro.core.ordering import ShuffleOnce
+
+        _, logical = self._train_logical(ShuffleOnce(mode="logical"), epochs=3)
+        _, physical = self._train_logical(ShuffleOnce(mode="physical"), epochs=3)
+        assert np.array_equal(logical.model["w"], physical.model["w"])
+        assert np.allclose(
+            logical.objective_trace(), physical.objective_trace(), atol=1e-9, rtol=0
+        )
+
+    @pytest.mark.parametrize("ordering", ["shuffle_once", "shuffle_always"])
+    def test_logical_shuffle_execution_parity_serial(self, ordering):
+        results = {
+            execution: self._train_logical(ordering, execution=execution)[1]
+            for execution in EXECUTIONS
+        }
+        assert np.array_equal(results["per_tuple"].model["w"], results["chunked"].model["w"])
+        assert np.array_equal(results["per_tuple"].model["w"], results["auto"].model["w"])
+        assert np.allclose(
+            results["per_tuple"].objective_trace(),
+            results["chunked"].objective_trace(),
+            atol=1e-9, rtol=0,
+        )
+
+    def test_logical_shuffle_always_shared_memory_parity_and_cache(self):
+        spec = SharedMemoryParallelism(scheme="nolock", workers=4)
+        results = {}
+        for execution in ("per_tuple", "auto"):
+            database, results[execution] = self._train_logical(
+                "shuffle_always", execution=execution, epochs=3, parallelism=spec
+            )
+        assert np.array_equal(
+            results["per_tuple"].model["w"], results["auto"].model["w"]
+        )
+        # cached run: one example-list decode + one batch decode (loss pass)
+        assert database.executor.example_cache.misses == 2
+
+    def test_logical_shuffle_always_segmented_parity_and_cache(self):
+        results = {}
+        for execution in ("per_tuple", "auto"):
+            database, results[execution] = self._train_logical(
+                "shuffle_always", execution=execution, epochs=3,
+                parallelism=PureUDAParallelism(), segmented=True,
+            )
+        assert np.array_equal(
+            results["per_tuple"].model["w"], results["auto"].model["w"]
+        )
+        cache = database.master.executor.example_cache
+        # one decode per segment plus one for the master loss pass — never
+        # repeated, because logical shuffles leave segment tables untouched
+        assert cache.misses == database.num_segments + 1
+
+
+@pytest.mark.backends
+class TestGatherKernels:
+    """Unit coverage of the batch take/concat kernels and gather_batches."""
+
+    def test_sparse_take_preserves_rows(self):
+        from repro.db import ColumnType, Schema, Table
+
+        schema = Schema.of(("vec", ColumnType.SPARSE_VECTOR), ("label", ColumnType.FLOAT))
+        table = Table("s", schema)
+        table.insert_many(
+            [
+                ({0: 1.0, 2: 2.0}, 1.0),
+                ({}, -1.0),
+                ({1: 3.0}, 1.0),
+                ({0: 4.0, 1: 5.0, 2: 6.0}, -1.0),
+            ]
+        )
+        task = LogisticRegressionTask(3)
+        batch = task.batch_from_chunk(next(table.iter_chunks(16)))
+        taken = batch.take(np.array([3, 1, 0]))
+        w = np.array([1.0, 10.0, 100.0])
+        assert taken.decision_values(w).tolist() == [654.0, 0.0, 201.0]
+        assert taken.y.tolist() == [-1.0, -1.0, 1.0]
+
+    def test_dense_concat_then_take_roundtrip(self):
+        from repro.tasks.base import ExampleBatch
+
+        a = ExampleBatch("dense", X=np.arange(6.0).reshape(3, 2), y=np.array([1.0, -1.0, 1.0]), dimension=2)
+        b = ExampleBatch("dense", X=10 + np.arange(4.0).reshape(2, 2), y=np.array([-1.0, 1.0]), dimension=2)
+        fused = ExampleBatch.concat([a, b])
+        assert len(fused) == 5
+        taken = fused.take(np.array([4, 0]))
+        assert taken.X.tolist() == [[12.0, 13.0], [0.0, 1.0]]
+
+    def test_gather_batches_interleaves_across_chunks(self):
+        from repro.db.chunk_plan import gather_batches
+        from repro.tasks.base import ExampleBatch
+
+        batches = [
+            ExampleBatch(
+                "dense",
+                X=np.arange(start, start + 4, dtype=np.float64).reshape(2, 2),
+                y=np.array([float(start), float(start + 1)]),
+                dimension=2,
+            )
+            for start in (0, 10, 20)
+        ]
+        # chunk_size 2, 6 examples total; an order hopping between chunks
+        out = gather_batches(batches, np.array([5, 0, 2, 1, 4, 3]), 2)
+        assert [len(block) for block in out] == [2, 2, 2]
+        assert np.concatenate([block.y for block in out]).tolist() == [
+            21.0, 0.0, 10.0, 1.0, 20.0, 11.0
+        ]
+
+    def test_gather_batches_rejects_out_of_range(self):
+        from repro.db.chunk_plan import gather_batches
+        from repro.tasks.base import ExampleBatch
+
+        batch = ExampleBatch("dense", X=np.zeros((2, 1)), y=np.zeros(2), dimension=1)
+        with pytest.raises(IndexError):
+            gather_batches([batch], np.array([2]), 4)
+
+    def test_gather_batches_without_kernels_returns_none(self):
+        from repro.db.chunk_plan import gather_batches
+
+        class Opaque:
+            def __len__(self):
+                return 2
+
+        assert gather_batches([Opaque()], np.array([0]), 4) is None
+
+    def test_decoded_example_batch_take_and_concat(self):
+        from repro.tasks.base import DecodedExampleBatch
+
+        a = DecodedExampleBatch(["a", "b"])
+        b = DecodedExampleBatch(["c"])
+        fused = DecodedExampleBatch.concat([a, b])
+        assert fused.take([2, 0]).examples == ["c", "a"]
 
 
 @pytest.mark.backends

@@ -52,8 +52,8 @@ class TestOrderingPolicies:
         labels = label_table.column_values("label")
         assert labels == sorted(labels, reverse=True)
 
-    def test_shuffle_once_only_prepares(self, label_table):
-        policy = ShuffleOnce()
+    def test_physical_shuffle_once_only_prepares(self, label_table):
+        policy = ShuffleOnce(mode="physical")
         rng = np.random.default_rng(0)
         policy.prepare(label_table, rng)
         after_prepare = label_table.column_values("id")
@@ -63,8 +63,8 @@ class TestOrderingPolicies:
         assert policy.shuffle_count == 1
         assert policy.shuffle_seconds >= 0.0
 
-    def test_shuffle_always_reshuffles_each_epoch(self, label_table):
-        policy = ShuffleAlways()
+    def test_physical_shuffle_always_reshuffles_each_epoch(self, label_table):
+        policy = ShuffleAlways(mode="physical")
         rng = np.random.default_rng(0)
         policy.prepare(label_table, rng)
         policy.before_epoch(label_table, 0, rng)
@@ -81,9 +81,97 @@ class TestOrderingPolicies:
         assert make_ordering(policy) is policy
         with pytest.raises(ValueError):
             make_ordering("alphabetical")
+        physical = make_ordering("shuffle_always", mode="physical")
+        assert isinstance(physical, ShuffleAlways) and not physical.logical
 
     def test_ordering_names(self):
         assert set(ordering_names()) == {"clustered", "shuffle_always", "shuffle_once"}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ShuffleOnce(mode="virtual")
+
+    def test_mode_kwarg_forwards_uniformly(self):
+        """make_ordering(name, mode="physical") works for every policy name."""
+        for name in ordering_names():
+            policy = make_ordering(name, mode="physical")
+            assert not policy.logical
+        with pytest.raises(ValueError):
+            make_ordering("clustered", mode="logical")
+
+
+class TestLogicalOrdering:
+    """Logical shuffles permute a stable table version — the heap never moves."""
+
+    def test_shuffle_is_logical_by_default(self):
+        assert ShuffleOnce().logical
+        assert ShuffleAlways().logical
+        assert not ClusteredOrder().logical
+
+    def test_logical_shuffle_once_never_touches_the_table(self, label_table):
+        policy = ShuffleOnce()
+        rng = np.random.default_rng(0)
+        before_ids = label_table.column_values("id")
+        version = label_table.version
+        policy.prepare(label_table, rng)
+        first = policy.epoch_row_order(len(label_table), 0, rng)
+        policy.before_epoch(label_table, 1, rng)
+        second = policy.epoch_row_order(len(label_table), 1, rng)
+        assert label_table.column_values("id") == before_ids
+        assert label_table.version == version
+        assert first is second  # one permutation, reused every epoch
+        assert policy.shuffle_count == 1
+        assert sorted(first.tolist()) == list(range(len(label_table)))
+
+    def test_logical_shuffle_always_fresh_permutation_per_epoch(self, label_table):
+        policy = ShuffleAlways()
+        rng = np.random.default_rng(0)
+        version = label_table.version
+        policy.prepare(label_table, rng)
+        first = policy.epoch_row_order(len(label_table), 0, rng)
+        # same epoch, same length -> same permutation (loss pass and training
+        # pass of one epoch must agree)
+        assert policy.epoch_row_order(len(label_table), 0, rng) is first
+        second = policy.epoch_row_order(len(label_table), 1, rng)
+        assert label_table.version == version
+        assert first.tolist() != second.tolist()
+        assert policy.shuffle_count == 2
+
+    def test_logical_orders_generated_per_row_count(self, label_table):
+        """Segmented backends ask per segment length; each gets its own perm."""
+        policy = ShuffleAlways()
+        rng = np.random.default_rng(0)
+        whole = policy.epoch_row_order(20, 0, rng)
+        segment = policy.epoch_row_order(7, 0, rng)
+        assert sorted(whole.tolist()) == list(range(20))
+        assert sorted(segment.tolist()) == list(range(7))
+
+    @pytest.mark.parametrize("policy_cls", [ShuffleOnce, ShuffleAlways])
+    def test_equal_length_partitions_draw_independent_permutations(self, policy_cls):
+        """Equal-length segments must not share one permutation: each
+        partition index is its own segment-local ORDER BY RANDOM()."""
+        policy = policy_cls()
+        rng = np.random.default_rng(0)
+        first = policy.epoch_row_order(30, 0, rng, partition=0)
+        second = policy.epoch_row_order(30, 0, rng, partition=1)
+        assert first is not second
+        assert first.tolist() != second.tolist()
+        # ...but re-asking for the same partition in the same epoch is stable
+        assert policy.epoch_row_order(30, 0, rng, partition=1) is second
+
+    def test_prepare_resets_logical_state_for_runner_reuse(self, label_table):
+        policy = ShuffleOnce()
+        rng = np.random.default_rng(0)
+        policy.prepare(label_table, rng)
+        first = policy.epoch_row_order(20, 0, rng)
+        policy.prepare(label_table, rng)  # a second training run
+        second = policy.epoch_row_order(20, 0, rng)
+        assert first is not second
+
+    def test_physical_policies_return_no_row_order(self, label_table):
+        rng = np.random.default_rng(0)
+        for policy in (ShuffleOnce(mode="physical"), ShuffleAlways(mode="physical"), ClusteredOrder()):
+            assert policy.epoch_row_order(20, 0, rng) is None
 
 
 class TestReservoirSampler:
@@ -176,6 +264,36 @@ class TestSamplingRunners:
         trace = result.objective_trace()
         assert result.epochs_to_reach(trace[-1]) <= 5
         assert result.epochs_to_reach(-1.0) is None
+
+    @pytest.mark.parametrize("extra", [0, 5])
+    def test_subsampling_full_buffer_degenerates_to_clustered(self, clustered_examples, extra):
+        """buffer_size >= n keeps every tuple in stored order: the Figure 10B
+        sweep at fraction 1.0 is plain IGD over the clustered data."""
+        examples, task = clustered_examples
+        full = run_subsampling(
+            examples, task, buffer_size=len(examples) + extra, epochs=3,
+            step_size=0.1, seed=0,
+        )
+        reference = run_clustered_no_shuffle(examples, task, epochs=3, step_size=0.1, seed=0)
+        assert full.buffer_size == len(examples)
+        assert np.array_equal(full.model["w"], reference.model["w"])
+        assert full.objective_trace() == reference.objective_trace()
+
+    @pytest.mark.parametrize("extra", [0, 5])
+    def test_mrs_full_buffer_caps_at_n_minus_one(self, clustered_examples, extra):
+        """MRS caps the reservoir at n - 1 so the I/O worker — which trains on
+        *dropped* tuples only — always takes at least one step per pass."""
+        examples, task = clustered_examples
+        result = run_multiplexed_reservoir_sampling(
+            examples, task, buffer_size=len(examples) + extra, epochs=3,
+            step_size=0.1, seed=0,
+        )
+        assert result.buffer_size == len(examples) - 1
+        # Epoch 0: the memory buffer is still empty, so the single dropped
+        # tuple of the fill pass is the only gradient step.
+        assert result.history[0].gradient_steps == 1
+        # Later epochs interleave the full swapped buffer: progress resumes.
+        assert result.history[-1].gradient_steps > len(examples)
 
 
 @pytest.mark.backends

@@ -1,4 +1,12 @@
-"""Benchmark E10 — Figure 9(B): per-epoch speed-up vs number of workers."""
+"""Benchmark E10 — Figure 9(B): per-epoch speed-up vs number of workers.
+
+With two or more cores the experiment reports *measured* multi-process
+wall-clock speed-ups (process backend); on a single core it falls back to the
+labelled analytic model.  The assertions follow the provenance: the modelled
+curves are deterministic arithmetic and are pinned tightly; measured curves
+are real wall-clock on shared CI hardware and are pinned on the shapes that
+survive noise (NoLock scales, Lock does not).
+"""
 
 from __future__ import annotations
 
@@ -13,17 +21,34 @@ def test_fig9b_speedup_vs_workers(benchmark, scale):
     )
     report("Figure 9B — speed-up of the per-epoch gradient computation", result.render())
 
-    # NoLock achieves the highest (near-linear) speed-up, AIG is close behind,
-    # the pure UDA is sub-linear because of model passing/merging, and Lock
-    # gets essentially no speed-up — exactly Figure 9(B)'s ordering.
-    assert result.speedup("nolock", 8) > 6.5
-    assert result.speedup("aig", 8) > 5.0
-    assert result.speedup("nolock", 8) >= result.speedup("aig", 8)
-    assert result.speedup("aig", 8) > result.speedup("pure_uda", 8)
-    assert 1.0 < result.speedup("pure_uda", 8) < 8.0
-    assert result.speedup("lock", 8) <= 1.1
+    if result.mode == "modeled":
+        # Deterministic analytic fallback (single-core host): NoLock achieves
+        # the highest (near-linear) speed-up, AIG is close behind, the pure
+        # UDA is sub-linear because of model passing/merging, and Lock gets
+        # essentially no speed-up — exactly Figure 9(B)'s ordering.
+        assert result.speedup("nolock", 8) > 6.5
+        assert result.speedup("aig", 8) > 5.0
+        assert result.speedup("nolock", 8) >= result.speedup("aig", 8)
+        assert result.speedup("aig", 8) > result.speedup("pure_uda", 8)
+        assert 1.0 < result.speedup("pure_uda", 8) < 8.0
+        assert result.speedup("lock", 8) <= 1.1
 
-    # Speed-ups are monotone in the number of workers for the scalable schemes.
-    for scheme in ("nolock", "aig", "pure_uda"):
-        series = result.speedups[scheme]
-        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+        # Speed-ups are monotone in the number of workers for the scalable schemes.
+        for scheme in ("nolock", "aig", "pure_uda"):
+            series = result.speedups[scheme]
+            assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+    else:
+        # Measured wall-clock on real worker processes: pin the robust shape.
+        # The Lock scheme serialises the whole gradient cycle, so it can
+        # never meaningfully beat serial; the racing schemes must beat Lock
+        # at the top worker count, and NoLock must show real scaling beyond
+        # one worker whenever the host has spare cores.
+        assert result.mode == "measured"
+        top = result.worker_counts[-1]
+        assert result.speedup("lock", top) <= 1.3
+        assert result.speedup("nolock", top) > result.speedup("lock", top)
+        if result.cores >= 2 and top >= 2:
+            assert result.speedup("nolock", top) > 1.0
+            assert result.speedup("pure_uda", top) > 1.0
+        for scheme in ("nolock", "aig", "pure_uda", "lock"):
+            assert all(value > 0 for value in result.speedups[scheme])

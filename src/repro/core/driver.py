@@ -228,9 +228,10 @@ class BismarckRunner:
         spec = self.config.parallelism
         if spec is None:
             return "serial"
+        suffix = "+process" if getattr(spec, "backend", "") == "process" else ""
         if isinstance(spec, PureUDAParallelism):
-            return "pure_uda"
-        return f"shared_memory[{spec.scheme}x{spec.workers}]"
+            return f"pure_uda{suffix}"
+        return f"shared_memory[{spec.scheme}x{spec.workers}]{suffix}"
 
     def _run_epoch(
         self,
@@ -251,6 +252,30 @@ class BismarckRunner:
                 engine = self.database.master
             else:
                 engine = self.database
+            if spec.backend == "process":
+                # Real OS worker processes racing on the mmap-shared model.
+                if self.config.execution == "per_tuple":
+                    raise ValueError(
+                        "the process backend serves workers from the cached "
+                        "chunk plane and cannot replay the per-tuple protocol"
+                    )
+                from ..db.process_backend import run_process_shared_memory_epoch
+
+                return run_process_shared_memory_epoch(
+                    table,
+                    self.task,
+                    model,
+                    schedule,
+                    spec=spec,
+                    pool=engine.process_pool(spec.workers),
+                    arena=engine.shared_memory,
+                    cache=engine.executor.example_cache,
+                    epoch=epoch,
+                    step_offset=step_offset,
+                    proximal=proximal,
+                    row_order=ordering.epoch_row_order(len(table), epoch, rng),
+                    charge_per_worker=engine.executor._charge_overhead,
+                )
             # The shared-memory epoch rides the unified chunk plane: workers
             # slice the executor's cached decoded examples zero-copy unless
             # the run explicitly asks for the paper's per-tuple protocol.
@@ -310,7 +335,7 @@ class BismarckRunner:
                 segment_orders = None
             outcome = self.database.run_parallel_aggregate(
                 table_name, factory, segment_row_orders=segment_orders,
-                execution=self.config.execution,
+                execution=self.config.execution, backend=spec.backend,
             )
             updated: Model = outcome.value
             steps = int(updated.metadata.get("gradient_steps", len(table))) - step_offset

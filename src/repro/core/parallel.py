@@ -55,10 +55,22 @@ class PureUDAParallelism:
     """Request shared-nothing (merge-based) parallelism.
 
     ``segments`` of None means "use the database's segment count".
+    ``backend="process"`` runs each segment in its own OS worker process
+    (:mod:`repro.db.process_backend`) instead of sequentially in this one;
+    for a fixed seed and segment count the two backends are bit-for-bit
+    identical (same partitions, same float operations, same merge order).
     """
 
     segments: int | None = None
+    backend: str = "in_process"
     name: str = "pure_uda"
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("in_process", "process"):
+            raise ValueError(
+                f"unknown pure-UDA backend {self.backend!r}; "
+                "expected 'in_process' or 'process'"
+            )
 
 
 ParallelismSpec = "PureUDAParallelism | SharedMemoryParallelism | None"

@@ -15,6 +15,14 @@ After each full pass of the I/O worker the two buffers are swapped.  The
 reproduction simulates the two workers with a deterministic interleaving: for
 every tuple the I/O worker consumes, the memory worker performs
 ``memory_steps_per_io`` gradient steps from its buffer.
+
+Chunk-plane integration: the reservoirs hold row *indices* into a stable
+table version, not materialized example objects.  Examples are resolved
+through the shared :class:`~repro.tasks.base.ExampleCache` when one is
+passed (decode once per table version, shared with every other backend), and
+subsampling's buffer epochs run the task's chunked IGD kernel over batches
+gathered from the cached chunk plane — the same ``take``/``concat`` gather
+kernels the logical shuffles use — instead of a per-example Python loop.
 """
 
 from __future__ import annotations
@@ -24,9 +32,10 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from ..db.table import Table
+from ..db.chunk_plan import gather_batches
+from ..db.table import DEFAULT_CHUNK_SIZE, Table
 from ..db.types import Row
-from ..tasks.base import Task
+from ..tasks.base import ExampleCache, Task
 from .convergence import EpochRecord
 from .model import Model
 from .proximal import IdentityProximal, ProximalOperator
@@ -100,13 +109,53 @@ class SamplingRunResult:
         return None
 
 
-def _materialize(examples: Sequence[Any] | Table | Iterable[Any], task: Task) -> list[Any]:
+def _materialize(
+    examples: Sequence[Any] | Table | Iterable[Any],
+    task: Task,
+    cache: ExampleCache | None = None,
+) -> "tuple[list[Any], Table | None]":
+    """Decoded examples plus the source table (when there is one).
+
+    With a ``cache``, a Table input decodes once per *table version* through
+    the shared example cache (the chunk plane's decode-once contract) —
+    repeated sampling runs over the same table, e.g. the Figure 10B buffer
+    sweep, stop re-decoding the corpus per run.  Reservoirs index into this
+    stable decoded list.
+    """
     if isinstance(examples, Table):
-        return [task.example_from_row(row) for row in examples.scan()]
+        if cache is not None:
+            examples.scan_count += 1
+            return cache.examples_for(examples, task), examples
+        return [task.example_from_row(row) for row in examples.scan()], examples
     out = []
     for item in examples:
         out.append(task.example_from_row(item) if isinstance(item, Row) else item)
-    return out
+    return out, None
+
+
+def _gathered_buffer_batches(
+    table: Table | None,
+    cache: ExampleCache | None,
+    task: Task,
+    buffer_indices: Sequence[int],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> list | None:
+    """Buffer rows gathered from the cached chunk plane; ``None`` = no fast path.
+
+    The gather runs once per training run (the buffer is fixed after the
+    sampling pass) and every buffer epoch then consumes the same gathered
+    batches through the task's chunked kernels — bit-for-bit the per-example
+    loop, minus the per-example Python dispatch.
+    """
+    if table is None or cache is None or not getattr(task, "supports_batches", False):
+        return None
+    batches = cache.batches_for(table, task, chunk_size)
+    if batches is None:
+        return None
+    ordinals = np.asarray(list(buffer_indices), dtype=np.intp)
+    if ordinals.size == 0:
+        return None
+    return gather_batches(batches, ordinals, chunk_size)
 
 
 def run_subsampling(
@@ -119,12 +168,19 @@ def run_subsampling(
     proximal: ProximalOperator | None = None,
     seed: int | None = 0,
     objective_examples: Sequence[Any] | None = None,
+    cache: ExampleCache | None = None,
 ) -> SamplingRunResult:
     """Baseline: reservoir-sample a buffer in one pass, then train on it only.
 
     The per-epoch objective is evaluated on the *full* dataset (or
     ``objective_examples`` if provided), which is what makes subsampling's
     slow convergence visible.
+
+    The reservoir holds row *indices* into the stable decoded example list.
+    When the data comes from a Table resolved through a shared ``cache``,
+    buffer epochs run the task's chunked IGD kernel over batches gathered
+    from the cached chunk plane (bit-for-bit the per-example loop); without
+    a fast path they fall back to indexing the decoded list per example.
 
     Capacity edge: ``buffer_size >= len(examples)`` keeps every tuple (the
     reservoir never overflows, preserving insertion order), so the run
@@ -137,24 +193,34 @@ def run_subsampling(
     rng = np.random.default_rng(seed)
     schedule = make_schedule(step_size)
     proximal = proximal if proximal is not None else task.proximal or IdentityProximal()
-    data = _materialize(examples, task)
+    data, table = _materialize(examples, task, cache)
     evaluation = list(objective_examples) if objective_examples is not None else data
 
     sampler = ReservoirSampler(min(buffer_size, len(data)), rng)
-    for example in data:
-        sampler.offer(example)
+    for index in range(len(data)):
+        sampler.offer(index)
     buffer = sampler.sample()
+    buffer_batches = _gathered_buffer_batches(table, cache, task, buffer)
 
     model = task.initial_model(rng)
     history: list[EpochRecord] = []
     steps = 0
     for epoch in range(epochs):
         start = time.perf_counter()
-        for example in buffer:
-            alpha = schedule.step_size(steps, epoch)
-            task.gradient_step(model, example, alpha)
-            proximal.apply(model, alpha)
-            steps += 1
+        if buffer_batches is not None:
+            # Chunk-plane buffer epoch: the same float operations as the
+            # per-example loop, run through the task's sequential IGD kernel
+            # over batches gathered once from the cached decoded chunks.
+            for batch in buffer_batches:
+                alphas = schedule.step_sizes(steps, len(batch), epoch)
+                task.igd_chunk(model, batch, alphas, proximal)
+                steps += len(batch)
+        else:
+            for index in buffer:
+                alpha = schedule.step_size(steps, epoch)
+                task.gradient_step(model, data[index], alpha)
+                proximal.apply(model, alpha)
+                steps += 1
         objective = task.total_loss(model, evaluation) + proximal.penalty(model)
         history.append(
             EpochRecord(
@@ -181,6 +247,7 @@ def run_multiplexed_reservoir_sampling(
     proximal: ProximalOperator | None = None,
     seed: int | None = 0,
     objective_examples: Sequence[Any] | None = None,
+    cache: ExampleCache | None = None,
 ) -> SamplingRunResult:
     """Multiplexed reservoir sampling (Figure 6): I/O and memory workers share a model.
 
@@ -198,13 +265,20 @@ def run_multiplexed_reservoir_sampling(
     buffer fraction 1.0 (where subsampling degenerates to full-data IGD; see
     :func:`run_subsampling`).  ``SamplingRunResult.buffer_size`` reports the
     effective (capped) capacity.
+
+    The reservoir and the memory buffer hold row *indices* into the stable
+    decoded example list (resolved through the shared ``cache`` for Table
+    inputs), so swapping buffers moves integers, never example payloads, and
+    both workers read the same cache-decoded examples every other backend
+    serves.  The two workers stay interleaved per tuple — that interleaving
+    *is* the MRS schedule — so this runner keeps per-example steps.
     """
     import time
 
     rng = np.random.default_rng(seed)
     schedule = make_schedule(step_size)
     proximal = proximal if proximal is not None else task.proximal or IdentityProximal()
-    data = _materialize(examples, task)
+    data, _table = _materialize(examples, task, cache)
     evaluation = list(objective_examples) if objective_examples is not None else data
 
     capacity = min(buffer_size, max(1, len(data) - 1))
@@ -213,18 +287,18 @@ def run_multiplexed_reservoir_sampling(
     steps = 0
     #: Buffer B — what the memory worker iterates over; starts empty so the
     #: memory worker only kicks in after the first pass fills buffer A.
-    memory_buffer: list[Any] = []
+    memory_buffer: list[int] = []
     memory_cursor = 0
 
     for epoch in range(epochs):
         start = time.perf_counter()
         sampler = ReservoirSampler(capacity, rng)  # buffer A for this pass
-        for example in data:
+        for index in range(len(data)):
             # --- I/O worker: reservoir + gradient step on the dropped tuple.
-            dropped = sampler.offer(example)
+            dropped = sampler.offer(index)
             if dropped is not None:
                 alpha = schedule.step_size(steps, epoch)
-                task.gradient_step(model, dropped, alpha)
+                task.gradient_step(model, data[dropped], alpha)
                 proximal.apply(model, alpha)
                 steps += 1
             # --- Memory worker: loop over buffer B concurrently.
@@ -234,7 +308,7 @@ def run_multiplexed_reservoir_sampling(
                 buffered = memory_buffer[memory_cursor % len(memory_buffer)]
                 memory_cursor += 1
                 alpha = schedule.step_size(steps, epoch)
-                task.gradient_step(model, buffered, alpha)
+                task.gradient_step(model, data[buffered], alpha)
                 proximal.apply(model, alpha)
                 steps += 1
         # Swap buffers: the freshly filled reservoir becomes the memory worker's.
@@ -265,6 +339,7 @@ def run_clustered_no_shuffle(
     proximal: ProximalOperator | None = None,
     seed: int | None = 0,
     objective_examples: Sequence[Any] | None = None,
+    cache: ExampleCache | None = None,
 ) -> SamplingRunResult:
     """Reference scheme for Figure 10: plain IGD over the clustered order.
 
@@ -275,7 +350,7 @@ def run_clustered_no_shuffle(
     rng = np.random.default_rng(seed)
     schedule = make_schedule(step_size)
     proximal = proximal if proximal is not None else task.proximal or IdentityProximal()
-    data = _materialize(examples, task)
+    data, _table = _materialize(examples, task, cache)
     evaluation = list(objective_examples) if objective_examples is not None else data
 
     model = task.initial_model(rng)

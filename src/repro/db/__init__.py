@@ -43,6 +43,12 @@ from .errors import (
 from .chunk_plan import ChunkPlan, partition_round_robin
 from .executor import QueryResult
 from .parallel import ParallelAggregateResult, SegmentedDatabase
+from .process_backend import (
+    ProcessWorkerPool,
+    available_cores,
+    default_process_workers,
+    run_process_shared_memory_epoch,
+)
 from .shared_memory import (
     SHARED_MEMORY_SCHEMES,
     SharedMemoryArena,
@@ -72,6 +78,7 @@ __all__ = [
     "POSTGRES",
     "ParallelAggregateResult",
     "ParseError",
+    "ProcessWorkerPool",
     "QueryResult",
     "Row",
     "SHARED_MEMORY_SCHEMES",
@@ -87,7 +94,10 @@ __all__ = [
     "UnknownColumnError",
     "UnknownFunctionError",
     "UnknownTableError",
+    "available_cores",
     "connect",
+    "default_process_workers",
     "partition_round_robin",
+    "run_process_shared_memory_epoch",
     "run_shared_memory_epoch",
 ]

@@ -84,6 +84,9 @@ class Database:
         self.aggregates = AggregateRegistry()
         self.functions: dict[str, Callable] = {}
         self.shared_memory = SharedMemoryArena()
+        #: Process-backend worker pools, keyed by worker count and reused
+        #: across epochs/runs so an epoch costs messages, not process spawns.
+        self._process_pools: dict[int, "object"] = {}
         self.rng = np.random.default_rng(seed)
         self.executor = Executor(
             self.aggregates,
@@ -191,6 +194,27 @@ class Database:
         return self.execute(sql).rows
 
     # ---------------------------------------------------------- programmatic
+    def process_pool(self, workers: int):
+        """The engine's persistent process-backend pool of the given size.
+
+        Pools are created lazily, cached by worker count and kept alive for
+        reuse across epochs and training runs; :meth:`close_process_pools`
+        (or interpreter exit) reaps them.
+        """
+        from .process_backend import ProcessWorkerPool
+
+        pool = self._process_pools.get(workers)
+        if pool is None or pool._closed:
+            pool = ProcessWorkerPool(workers)
+            self._process_pools[workers] = pool
+        return pool
+
+    def close_process_pools(self) -> None:
+        """Stop and reap every process-backend worker pool.  Idempotent."""
+        for pool in self._process_pools.values():
+            pool.close()
+        self._process_pools.clear()
+
     def run_aggregate(
         self,
         table_name: str,
@@ -200,14 +224,25 @@ class Database:
         where: Expression | None = None,
         row_order: Sequence[int] | None = None,
         execution: str = "per_tuple",
+        backend: str = "in_process",
+        process_workers: int | None = None,
     ) -> Any:
         """Run a UDA over a table directly (bypassing SQL), honouring the
         engine's per-tuple cost model and an optional explicit row order.
-        ``execution`` selects per-tuple vs chunked columnar aggregation (see
-        :meth:`Executor.run_aggregate`)."""
+        ``execution`` selects per-tuple vs chunked columnar aggregation;
+        ``backend="process"`` fans a mergeable aggregate out over the
+        engine's persistent worker-process pool (``process_workers`` sizes
+        it, defaulting to one worker per core) — see
+        :meth:`Executor.run_aggregate`."""
         table = self.table(table_name)
+        pool = None
+        if backend == "process":
+            from .process_backend import default_process_workers
+
+            pool = self.process_pool(process_workers or default_process_workers())
         return self.executor.run_aggregate(
-            table, aggregate, argument, where=where, row_order=row_order, execution=execution
+            table, aggregate, argument, where=where, row_order=row_order,
+            execution=execution, backend=backend, process_pool=pool,
         )
 
     # ------------------------------------------------------------------ misc

@@ -317,6 +317,8 @@ class Executor:
         where: Expression | None = None,
         row_order: Sequence[int] | None = None,
         execution: str = "per_tuple",
+        backend: str = "in_process",
+        process_pool=None,
     ) -> Any:
         """Run a single aggregate over a table without going through SQL.
 
@@ -332,12 +334,44 @@ class Executor:
         vector cached once per (table, version, predicate); explicit row
         orders through a vectorized gather over the cached batches — both
         produce bit-for-bit the per-tuple models.
+
+        ``backend`` selects who performs the pass: ``"in_process"`` (the
+        default) runs in this process; ``"process"`` fans a mergeable,
+        task-backed aggregate out over a :class:`ProcessWorkerPool` of real
+        OS workers (round-robin ordinal partitions, deterministic
+        left-to-right merge — bit-for-bit a segmented run with as many
+        segments as pool workers).  ``process_pool`` supplies the pool; if
+        omitted an ephemeral pool of one worker per core is used for the call.
         """
         if execution not in ("per_tuple", "chunked", "auto"):
             raise ExecutionError(f"unknown execution mode {execution!r}")
+        if backend not in ("in_process", "process"):
+            raise ExecutionError(f"unknown execution backend {backend!r}")
         instance = (
             self.aggregates.create(aggregate) if isinstance(aggregate, str) else aggregate
         )
+        if backend == "process":
+            if execution == "per_tuple":
+                raise ExecutionError(
+                    "the process backend ships cache-decoded examples and "
+                    "cannot replay the per-tuple engine protocol; pass "
+                    "execution='auto' or 'chunked' with backend='process'"
+                )
+            from .process_backend import (
+                ProcessWorkerPool,
+                default_process_workers,
+                run_process_aggregate,
+            )
+
+            if process_pool is not None:
+                return run_process_aggregate(
+                    self, table, instance, pool=process_pool,
+                    where=where, row_order=row_order,
+                )
+            with ProcessWorkerPool(default_process_workers()) as pool:
+                return run_process_aggregate(
+                    self, table, instance, pool=pool, where=where, row_order=row_order
+                )
         if execution != "per_tuple":
             if instance.supports_chunks:
                 outcome = self._run_aggregate_chunked(

@@ -122,6 +122,7 @@ class SegmentedDatabase:
         where: Expression | None = None,
         segment_row_orders: Sequence[Sequence[int]] | None = None,
         execution: str = "auto",
+        backend: str = "in_process",
     ) -> ParallelAggregateResult:
         """Run a UDA independently on every segment and merge the results.
 
@@ -145,11 +146,31 @@ class SegmentedDatabase:
         as the paper's reference protocol — this entry point defaults to the
         chunk plane; callers measuring per-tuple engine overhead (Tables 2-3)
         must pass ``execution="per_tuple"`` explicitly.
+
+        ``backend`` selects who runs the per-segment work: ``"in_process"``
+        (the default) performs the segment passes sequentially in this
+        process; ``"process"`` runs each segment in its own OS worker from
+        the master engine's persistent pool.  The partitioning, per-example
+        float operations and left-to-right merge are identical, so for a
+        fixed seed and segment count the two backends produce **bit-for-bit
+        the same model** — the pure-UDA determinism contract.
         """
         if execution not in ("per_tuple", "chunked", "auto"):
             raise ExecutionError(f"unknown execution mode {execution!r}")
+        if backend not in ("in_process", "process"):
+            raise ExecutionError(f"unknown execution backend {backend!r}")
         segments = self.segments_of(table_name)
         probe = aggregate_factory()
+        if backend == "process" and probe.supports_merge and self.num_segments > 1:
+            if execution == "per_tuple":
+                raise ExecutionError(
+                    "the process backend ships cache-decoded examples and "
+                    "cannot replay the per-tuple engine protocol; use the "
+                    "in-process backend for per-tuple runs"
+                )
+            return self._run_parallel_aggregate_process(
+                segments, aggregate_factory, where, segment_row_orders
+            )
         if not probe.supports_merge or self.num_segments == 1:
             # The single-segment layout matches the master copy row for row,
             # so its visit order applies directly; multi-segment orders are
@@ -186,6 +207,54 @@ class SegmentedDatabase:
             instances.append(instance)
             partial_states.append(state)
             per_segment_tuples.append(len(segment))
+
+        merged = partial_states[0]
+        merges = 0
+        for state in partial_states[1:]:
+            merged = instances[0].merge(merged, state)
+            merges += 1
+        value = instances[0].terminate(merged)
+        return ParallelAggregateResult(
+            value=value,
+            per_segment_tuples=per_segment_tuples,
+            num_segments=len(segments),
+            merges=merges,
+        )
+
+    def _run_parallel_aggregate_process(
+        self,
+        segments: list[Table],
+        aggregate_factory: Callable[[], UserDefinedAggregate],
+        where: Expression | None,
+        segment_row_orders: Sequence[Sequence[int]] | None,
+    ) -> ParallelAggregateResult:
+        """Segment passes on real OS workers: one worker per segment.
+
+        Each worker receives its segment's cache-decoded examples (pickled
+        once per table version) and runs the plain ``initialize``/
+        ``transition`` protocol over them; the parent merges the partial
+        states left-to-right exactly like the in-process path, so the result
+        is bit-for-bit identical for a fixed seed and segment count.
+        """
+        from .process_backend import resolve_ordinals, run_partitioned_uda
+
+        executor = self.master.executor
+        pool = self.master.process_pool(len(segments))
+        instances: list[UserDefinedAggregate] = []
+        parts = []
+        per_segment_tuples: list[int] = []
+        for index, segment in enumerate(segments):
+            instance = aggregate_factory()
+            order = segment_row_orders[index] if segment_row_orders is not None else None
+            ordinals = resolve_ordinals(
+                segment, executor.example_cache, executor.functions, where, order
+            )
+            segment.scan_count += 1
+            executor._charge_overhead(instance.state_passing_units)
+            instances.append(instance)
+            parts.append((segment, instance, ordinals))
+            per_segment_tuples.append(len(segment))
+        partial_states = run_partitioned_uda(pool, parts, executor.example_cache)
 
         merged = partial_states[0]
         merges = 0
@@ -257,6 +326,10 @@ class SegmentedDatabase:
         return state
 
     # ------------------------------------------------------------------ misc
+    def close_process_pools(self) -> None:
+        """Reap the master engine's process-backend worker pools."""
+        self.master.close_process_pools()
+
     def shuffle_table(self, name: str, *, seed: int | None = None) -> None:
         """Shuffle the master copy and redistribute segments."""
         rng = np.random.default_rng(seed)

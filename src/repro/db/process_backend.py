@@ -1,0 +1,585 @@
+"""Real multi-process execution over the cached chunk plane.
+
+This is the backend that turns the repo's parallelism story from *modelled*
+to *measured*: OS worker processes race on a single mmap-shared model
+(:mod:`repro.db.shared_memory` arena segments) or train shared-nothing
+partitions that are merged by the pure-UDA ``merge`` function — the two
+parallelisation mechanisms of Section 3.3, executed by real processes rather
+than a cooperative in-process simulation.
+
+Architecture:
+
+* :class:`ProcessWorkerPool` — a persistent pool of **forked** worker
+  processes connected by pipes.  Workers are long-lived so per-epoch cost is
+  one small message per worker, not a process spawn; the publication lock is
+  created *before* the fork so every worker inherits the same OS semaphore.
+* **Pickled-once chunk payloads** — the decoded example list for a (table,
+  version) is resolved through the shared
+  :class:`~repro.tasks.base.ExampleCache` (the chunk plane's decode-once
+  contract), pickled once, and shipped to each worker, which caches it by
+  key.  Subsequent epochs send only ordinal arrays — a logical shuffle never
+  re-ships a single example.
+* **Round-robin range assignment** —
+  :func:`~repro.db.chunk_plan.partition_round_robin` is the partitioning
+  contract shared with the in-process backends, which is what makes the
+  pure-UDA process path *bit-for-bit identical* to the in-process segmented
+  engine: same partitions, same per-example float operations, same
+  left-to-right merge.
+* **Shared-memory epochs** — each worker attaches to the model segment's OS
+  name and publishes per-staleness-batch deltas: racy in-place adds
+  (``nolock`` — true Hogwild on the mmap'd pages), a brief critical section
+  per published delta (``aig`` — modelling batched per-component atomics),
+  or the whole read-compute-write cycle under the lock (``lock``, which is
+  why the Lock scheme measures ~1x in Figure 9B).
+
+Determinism contract: pure-UDA runs are deterministic and bit-for-bit equal
+to the in-process backends for a fixed seed and worker count; the
+shared-memory schemes are genuinely racy (that is the point) and are pinned
+by statistical objective-band assertions instead.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import traceback
+import weakref
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import ExecutionError
+from .shared_memory import (
+    SharedMemoryArena,
+    SharedMemoryParallelism,
+    attach_shared_array,
+    fork_context,
+)
+from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.model import Model
+    from ..tasks.base import ExampleCache
+    from .aggregates import UserDefinedAggregate
+    from .executor import Executor
+
+
+def available_cores() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def default_process_workers() -> int:
+    """Default pool size for the process backend: one worker per core."""
+    return max(1, available_cores())
+
+
+# ---------------------------------------------------------------------------
+# Worker entrypoint
+# ---------------------------------------------------------------------------
+def _flat_view_model(template: "Model") -> "tuple[Model, np.ndarray]":
+    """A model whose components are views into one flat buffer.
+
+    ``flat`` and the model alias the same memory, laid out exactly like
+    :meth:`Model.as_flat_vector` (sorted component names, ravelled), so
+    reading a snapshot is one ``copyto`` and publishing a delta is one
+    subtraction — no per-batch concatenate/reload round-trips in the hot
+    worker loop.
+    """
+    from ..core.model import Model
+
+    flat = np.zeros(template.num_parameters)
+    components = {}
+    offset = 0
+    for name in sorted(template.component_names()):
+        array = template[name]
+        components[name] = flat[offset:offset + array.size].reshape(array.shape)
+        offset += array.size
+    return Model(components), flat
+
+
+def _run_shmem_epoch(payloads: dict, lock, params: Mapping[str, Any]) -> int:
+    """One worker's share of a shared-memory epoch against the mmap'd model."""
+    from ..core.proximal import IdentityProximal
+
+    examples, task = payloads[params["key"]]
+    schedule = params["schedule"]
+    proximal = params["proximal"]
+    apply_proximal = not isinstance(proximal, IdentityProximal)
+    epoch = params["epoch"]
+    step_offset = params["step_offset"]
+    staleness = params["staleness"]
+    scheme = params["scheme"]
+    global_ordinals = params["global_ordinals"]
+    example_ordinals = params["example_ordinals"]
+    model, flat = _flat_view_model(params["model_template"])
+
+    shm, shared = attach_shared_array(params["os_name"], params["shape"])
+    steps = 0
+    try:
+        for start in range(0, global_ordinals.shape[0], staleness):
+            batch_g = global_ordinals[start:start + staleness]
+            batch_e = example_ordinals[start:start + staleness]
+            if scheme == "lock":
+                # The Lock scheme serialises the whole read-compute-write
+                # cycle on the model lock: gradient work cannot overlap,
+                # which is exactly why it measures ~1x.
+                with lock:
+                    np.copyto(flat, shared)
+                    for g, e in zip(batch_g, batch_e):
+                        alpha = schedule.step_size(step_offset + int(g), epoch)
+                        task.gradient_step(model, examples[int(e)], alpha)
+                        if apply_proximal:
+                            proximal.apply(model, alpha)
+                    np.copyto(shared, flat)
+            else:
+                snapshot = shared.copy()
+                np.copyto(flat, snapshot)
+                for g, e in zip(batch_g, batch_e):
+                    alpha = schedule.step_size(step_offset + int(g), epoch)
+                    task.gradient_step(model, examples[int(e)], alpha)
+                    if apply_proximal:
+                        proximal.apply(model, alpha)
+                delta = flat - snapshot
+                nonzero = np.nonzero(delta)[0]
+                if scheme == "aig":
+                    # Batched per-component atomics: the publication — and
+                    # only the publication — runs in a brief critical
+                    # section, so gradient computation still overlaps.
+                    with lock:
+                        shared[nonzero] += delta[nonzero]
+                else:  # nolock — genuinely racy Hogwild read-modify-write
+                    shared[nonzero] += delta[nonzero]
+            steps += len(batch_g)
+    finally:
+        del shared
+        shm.close()
+    return steps
+
+
+def _run_uda_state(payloads: dict, msg: tuple) -> Any:
+    """initialize + transition over this worker's assigned example ordinals."""
+    _, key, instance, ordinals = msg
+    examples, _task = payloads[key]
+    state = instance.initialize()
+    transition = instance.transition
+    if ordinals is None:
+        for example in examples:
+            state = transition(state, example)
+    else:
+        for ordinal in ordinals:
+            state = transition(state, examples[int(ordinal)])
+    return state
+
+
+def _worker_main(conn, lock) -> None:
+    """Long-lived worker loop: cache payloads, run epochs, return states."""
+    payloads: dict = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+            break
+        op = msg[0]
+        try:
+            if op == "stop":
+                conn.send(("ok", None))
+                break
+            if op == "ping":
+                conn.send(("ok", os.getpid()))
+            elif op == "load":
+                payloads[msg[1]] = pickle.loads(msg[2])
+                conn.send(("ok", None))
+            elif op == "drop":
+                payloads.pop(msg[1], None)
+                conn.send(("ok", None))
+            elif op == "uda_state":
+                conn.send(("ok", _run_uda_state(payloads, msg)))
+            elif op == "shmem_epoch":
+                conn.send(("ok", _run_shmem_epoch(payloads, lock, msg[1])))
+            else:
+                conn.send(("err", f"unknown worker command {op!r}"))
+        except Exception:  # noqa: BLE001 - forwarded to the parent verbatim
+            conn.send(("err", traceback.format_exc()))
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+_LIVE_POOLS: "weakref.WeakSet[ProcessWorkerPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_pools_at_exit() -> None:  # pragma: no cover - exercised at interpreter exit
+    for pool in list(_LIVE_POOLS):
+        pool.close()
+
+
+class ProcessWorkerPool:
+    """A persistent pool of forked worker processes over pipes.
+
+    Workers inherit the publication :attr:`lock` (created before the fork)
+    and cache example payloads by key, so an epoch costs one small message
+    per worker.  The pool is a context manager and is also swept at
+    interpreter exit; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, workers: int):
+        if workers <= 0:
+            raise ExecutionError("process pool needs at least one worker")
+        self.workers = workers
+        ctx = fork_context()
+        #: Publication lock shared by every worker (inherited through fork).
+        self.lock = ctx.Lock()
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        self._loaded: set[tuple[int, tuple]] = set()
+        #: Pins id()-keyed payload keys' objects for the pool's lifetime.
+        self._pins: dict[tuple, Any] = {}
+        # Start the shared-memory resource tracker *before* forking: workers
+        # then inherit it, so their attachments register with the parent's
+        # tracker (a set-level no-op) instead of each spawning a private
+        # tracker that would warn about "leaked" segments at exit.
+        try:  # pragma: no cover - tracker internals
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        for _ in range(workers):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main, args=(child_conn, self.lock), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+        _LIVE_POOLS.add(self)
+
+    # ------------------------------------------------------------- messaging
+    def _gather(self, workers: Sequence[int]) -> dict[int, Any]:
+        """Drain one reply from every listed worker, then raise on failures.
+
+        Draining *before* raising is what keeps this persistent pool usable
+        after a worker-side exception: a worker that reported an error has
+        already produced its reply, so every later command still pairs one
+        send with one recv.  A worker that died mid-command breaks that
+        invariant permanently, so the pool closes itself instead of serving
+        stale buffered replies to the next caller.
+        """
+        replies: dict[int, Any] = {}
+        failures: list[str] = []
+        worker_died = False
+        for worker in workers:
+            try:
+                status, value = self._conns[worker].recv()
+            except (EOFError, OSError):
+                worker_died = True
+                failures.append(
+                    f"worker {worker} died (exit code {self._procs[worker].exitcode})"
+                )
+                continue
+            if status != "ok":
+                failures.append(f"worker {worker} failed:\n{value}")
+                continue
+            replies[worker] = value
+        if worker_died:
+            self.close()
+        if failures:
+            raise ExecutionError("process-backend " + "; ".join(failures))
+        return replies
+
+    def run(self, messages: Mapping[int, tuple]) -> dict[int, Any]:
+        """Scatter one message per worker, gather every reply.
+
+        All messages are sent before any reply is read, so workers execute
+        concurrently; replies are collected in worker order, which is what
+        keeps merge order deterministic.
+        """
+        if self._closed:
+            raise ExecutionError("process pool is closed")
+        for worker, message in messages.items():
+            self._conns[worker].send(message)
+        return self._gather(list(messages))
+
+    def ensure_loaded(
+        self,
+        worker_ids: Iterable[int],
+        key: tuple,
+        build: Callable[[], Any],
+        *,
+        pin: Any = None,
+    ) -> None:
+        """Ship a payload to the given workers unless they already hold it.
+
+        The payload is built and pickled **once** per key, then sent to every
+        missing worker — this is the "pickled-once chunk payload" contract:
+        a (table, version) decode crosses the process boundary exactly once,
+        and later epochs address it by key.  ``pin`` keeps any id()-keyed
+        object in the key alive for the pool's lifetime.
+        """
+        if self._closed:
+            raise ExecutionError("process pool is closed")
+        missing = [w for w in worker_ids if (w, key) not in self._loaded]
+        if not missing:
+            return
+        payload_bytes = pickle.dumps(build(), protocol=pickle.HIGHEST_PROTOCOL)
+        if pin is not None:
+            self._pins[key] = pin
+        for worker in missing:
+            self._conns[worker].send(("load", key, payload_bytes))
+        self._gather(missing)
+        self._loaded.update((worker, key) for worker in missing)
+
+    # -------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the workers and reap the processes.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover - worker died
+                pass
+        for conn in self._conns:
+            try:
+                conn.recv()
+            except (EOFError, OSError):  # pragma: no cover - worker died
+                pass
+            conn.close()
+        for process in self._procs:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        self._pins.clear()
+        self._loaded.clear()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "live"
+        return f"ProcessWorkerPool(workers={self.workers}, {state})"
+
+
+# ---------------------------------------------------------------------------
+# Ordinal resolution (WHERE + row order, the chunk plane's composition rule)
+# ---------------------------------------------------------------------------
+def resolve_ordinals(
+    table: Table,
+    cache: "ExampleCache",
+    functions: Mapping[str, Callable] | None,
+    where,
+    row_order: Sequence[int] | None,
+) -> np.ndarray | None:
+    """Example ordinals for one pass; ``None`` means every row in heap order.
+
+    Mirrors :meth:`~repro.db.chunk_plan.ChunkPlan.resolve`: the visit order
+    is walked first and rows failing the WHERE predicate are dropped, using
+    the cached per-version selection vector.
+    """
+    if where is None and row_order is None:
+        return None
+    mask = cache.selection_for(table, where, functions) if where is not None else None
+    if mask is not None:
+        if row_order is not None:
+            order = np.asarray(row_order, dtype=np.intp)
+            order = np.where(order < 0, order + mask.shape[0], order)
+            return order[mask[order]]
+        return np.flatnonzero(mask)
+    order = np.asarray(row_order, dtype=np.intp)
+    return np.where(order < 0, order + len(table), order)
+
+
+def payload_key(table: Table, decoder: Any) -> tuple:
+    """Worker-side payload key for one (table, version, decoding task)."""
+    return ("examples", table.name, table.version, id(decoder))
+
+
+# ---------------------------------------------------------------------------
+# Partitioned mergeable UDA (pure-UDA parallelism / Executor backend)
+# ---------------------------------------------------------------------------
+def run_partitioned_uda(
+    pool: ProcessWorkerPool,
+    parts: "Sequence[tuple[Table, UserDefinedAggregate, np.ndarray | None]]",
+    cache: "ExampleCache",
+) -> list:
+    """Run one UDA instance per (table, ordinals) part, one part per worker.
+
+    Returns the raw per-part states in part order (the caller merges).  Each
+    part's decoded examples are resolved through the shared example cache and
+    shipped pickled-once; the per-part computation is the plain per-tuple
+    ``initialize``/``transition`` protocol, which the parity suite pins as
+    bit-for-bit identical to the in-process chunked kernels.
+    """
+    if len(parts) > pool.workers:
+        raise ExecutionError(
+            f"{len(parts)} partitions need at least as many pool workers "
+            f"(pool has {pool.workers})"
+        )
+    # Group workers by payload key so each payload is built and pickled once
+    # per key, no matter how many workers share it (every partition of one
+    # table shares one key; segmented runs have one key per segment).
+    messages: dict[int, tuple] = {}
+    workers_by_key: dict[tuple, list[int]] = {}
+    builders: dict[tuple, tuple] = {}
+    for worker, (table, instance, ordinals) in enumerate(parts):
+        decoder = instance.chunk_decoder
+        if decoder is None:
+            raise ExecutionError(
+                f"aggregate {type(instance).__name__} exposes no decoding task; "
+                "the process backend ships task-decoded examples"
+            )
+        key = payload_key(table, decoder)
+        workers_by_key.setdefault(key, []).append(worker)
+        builders[key] = (table, decoder)
+        messages[worker] = ("uda_state", key, instance, ordinals)
+    for key, workers in workers_by_key.items():
+        table, decoder = builders[key]
+        pool.ensure_loaded(
+            workers, key,
+            lambda table=table, decoder=decoder: (cache.examples_for(table, decoder), decoder),
+            pin=decoder,
+        )
+    states = pool.run(messages)
+    return [states[worker] for worker in sorted(states)]
+
+
+def run_process_aggregate(
+    executor: "Executor",
+    table: Table,
+    instance: "UserDefinedAggregate",
+    *,
+    pool: ProcessWorkerPool,
+    where=None,
+    row_order: Sequence[int] | None = None,
+) -> Any:
+    """Run one mergeable aggregate over round-robin partitions of a table.
+
+    The partition contract is :func:`partition_round_robin` over the visit
+    ordinals — the same layout the segmented engine uses — so the result is
+    bit-for-bit identical to a :class:`~repro.db.parallel.SegmentedDatabase`
+    run with ``num_segments == pool.workers``.
+    """
+    if not instance.supports_merge:
+        raise ExecutionError(
+            f"aggregate {type(instance).__name__} does not support merge; "
+            "the process backend requires an algebraic (mergeable) aggregate"
+        )
+    ordinals = resolve_ordinals(table, executor.example_cache, executor.functions, where, row_order)
+    if ordinals is None:
+        ordinals = np.arange(len(table), dtype=np.intp)
+    workers = max(1, min(pool.workers, ordinals.shape[0]) if ordinals.shape[0] else 1)
+    # One logical scan of the table's data, exactly like the serial paths.
+    table.scan_count += 1
+    parts = []
+    for worker in range(workers):
+        # partition_round_robin assignment: ordinal position i -> worker i % w.
+        executor._charge_overhead(instance.state_passing_units)
+        parts.append((table, instance, ordinals[worker::workers]))
+    states = run_partitioned_uda(pool, parts, executor.example_cache)
+    merged = states[0]
+    for state in states[1:]:
+        merged = instance.merge(merged, state)
+    return instance.terminate(merged)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory epoch on real worker processes (the measured Figure 9B path)
+# ---------------------------------------------------------------------------
+def run_process_shared_memory_epoch(
+    table: Table,
+    task,
+    model: "Model",
+    step_size,
+    *,
+    spec: SharedMemoryParallelism,
+    pool: ProcessWorkerPool,
+    arena: SharedMemoryArena,
+    cache: "ExampleCache",
+    epoch: int = 0,
+    step_offset: int = 0,
+    proximal=None,
+    row_order: Sequence[int] | None = None,
+    segment_name: str = "bismarck_model",
+    charge_per_worker: Callable[[], Any] | None = None,
+) -> "tuple[Model, int]":
+    """One epoch of shared-memory IGD on real OS worker processes.
+
+    The model lives in an arena segment (an mmap'd ``/dev/shm`` block); each
+    worker attaches to it by OS name and races per the scheme: ``nolock``
+    publishes genuinely unsynchronised deltas (Hogwild), ``aig`` publishes
+    under a brief critical section (batched per-component atomics), ``lock``
+    holds the lock across the whole read-compute-write cycle.  Examples come
+    from the shared chunk-plane cache, shipped to the pool pickled-once per
+    table version; a logical ``row_order`` re-partitions the permuted ordinal
+    sequence with the same round-robin contract as the cooperative runner.
+
+    Results are **not** deterministic — real races are the entire point — so
+    callers pin convergence with objective-band assertions, never equality.
+    """
+    from ..core.proximal import IdentityProximal
+    from ..core.stepsize import make_schedule
+
+    schedule = make_schedule(step_size)
+    proximal = proximal if proximal is not None else task.proximal or IdentityProximal()
+
+    examples = cache.examples_for(table, task)
+    table.scan_count += 1
+    num_examples = len(examples)
+    if num_examples == 0:
+        return model, 0
+
+    workers = min(spec.workers, num_examples, pool.workers)
+    staleness = spec.effective_staleness()
+    order = None
+    if row_order is not None:
+        order = np.asarray(row_order, dtype=np.intp)
+
+    key = payload_key(table, task)
+    pool.ensure_loaded(range(workers), key, lambda: (examples, task), pin=task)
+
+    if arena.exists(segment_name):
+        arena.free(segment_name)
+    segment = arena.allocate_from(segment_name, model.as_flat_vector())
+    try:
+        messages: dict[int, tuple] = {}
+        for worker in range(workers):
+            global_ordinals = np.arange(worker, num_examples, workers, dtype=np.intp)
+            example_ordinals = order[global_ordinals] if order is not None else global_ordinals
+            if charge_per_worker is not None:
+                charge_per_worker()
+            messages[worker] = (
+                "shmem_epoch",
+                {
+                    "key": key,
+                    "os_name": segment.os_name,
+                    "shape": segment.shape,
+                    "scheme": spec.scheme,
+                    "global_ordinals": global_ordinals,
+                    "example_ordinals": example_ordinals,
+                    "schedule": schedule,
+                    "proximal": proximal,
+                    "epoch": epoch,
+                    "step_offset": step_offset,
+                    "staleness": staleness,
+                    "model_template": model.zeros_like(),
+                },
+            )
+        results = pool.run(messages)
+        steps_taken = int(sum(results.values()))
+        model.load_flat_vector(segment.array)
+    finally:
+        arena.free(segment_name)
+    return model, steps_taken

@@ -7,25 +7,35 @@ by several workers.  This module is the single home for everything
 shared-memory (the epoch runner used to live in :mod:`repro.core.parallel`,
 which still re-exports it for back-compat):
 
-* a named arena of numpy arrays (:class:`SharedMemoryArena`);
-* per-segment locks (:meth:`SharedSegment.lock`) for the "Lock" scheme;
+* a named arena of **real** shared-memory numpy arrays
+  (:class:`SharedMemoryArena`) — every segment is backed by a
+  ``multiprocessing.shared_memory`` (``/dev/shm`` mmap) block, so worker
+  *processes* attach to the same physical pages the parent allocated;
+* per-segment process-safe locks (:meth:`SharedSegment.lock`) for the "Lock"
+  scheme;
 * a per-component compare-and-exchange primitive
   (:meth:`SharedSegment.compare_and_exchange`) that the "AIG" scheme uses;
-* raw unsynchronised access for the "NoLock" (Hogwild) scheme; and
+* raw unsynchronised access for the "NoLock" (Hogwild) scheme — on the
+  process backend this is a genuinely racy read-modify-write on the mmap'd
+  pages; and
 * the cooperative epoch simulation itself (:func:`run_shared_memory_epoch`)
-  with its :class:`SharedMemoryParallelism` spec.
+  with its :class:`SharedMemoryParallelism` spec.  The *real* multi-process
+  epoch lives in :mod:`repro.db.process_backend` and reuses the same arena.
 
-Because the reproduction simulates workers cooperatively (deterministic
-interleaving rather than preemptive threads), the locks never contend in the
-OS sense — but every acquisition is *counted*, which is what the speed-up cost
-model in :mod:`repro.experiments.parallelism` consumes.
+Lifecycle: interrupted runs must not leak ``/dev/shm`` blocks, so the arena
+is a context manager, every arena registers itself for a process-exit sweep
+(``atexit``), and :meth:`SharedMemoryArena.free` /
+:meth:`SharedSegment.release` are idempotent.
 """
 
 from __future__ import annotations
 
-import threading
+import atexit
+import weakref
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing import shared_memory as _mp_shared_memory
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 import numpy as np
@@ -41,17 +51,82 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.stepsize import StepSizeSchedule
     from ..tasks.base import ExampleCache, Task
 
+#: Fork context (lazy): segment locks are OS semaphores that forked worker
+#: processes inherit, and fork is how the process backend spawns its workers.
+#: Resolved on first use so merely importing this module works on platforms
+#: without fork (the process backend itself requires it, serial use doesn't).
+_MP_CONTEXT = None
 
-@dataclass
+
+def fork_context():
+    """The multiprocessing fork context (default context where fork is absent)."""
+    global _MP_CONTEXT
+    if _MP_CONTEXT is None:
+        try:
+            _MP_CONTEXT = get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            _MP_CONTEXT = get_context()
+    return _MP_CONTEXT
+
+#: SharedMemory handles whose ``close()`` was deferred because a live numpy
+#: view still exported the buffer when the segment was freed.  Holding them
+#: here keeps their ``__del__`` from re-raising at garbage-collection time;
+#: the OS reclaims the pages when the process exits (the name is already
+#: unlinked, so nothing leaks in ``/dev/shm``).
+_DEFERRED_CLOSE: list = []
+
+
+def attach_shared_array(
+    os_name: str, shape: int | tuple[int, ...]
+) -> "tuple[_mp_shared_memory.SharedMemory, np.ndarray]":
+    """Attach to an existing OS shared-memory block as a float64 array.
+
+    This is the worker-process entry point: the parent ships the segment's
+    :attr:`SharedSegment.os_name` and shape, the worker maps the same pages.
+    Workers are *forked*, so they share the parent's resource-tracker process
+    and attaching re-registers an already-tracked name (a set-level no-op);
+    ownership — unlinking — stays with the allocating arena.  Callers must
+    drop every numpy view before ``shm.close()``.
+    """
+    shm = _mp_shared_memory.SharedMemory(name=os_name)
+    return shm, np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+
+
 class SharedSegment:
-    """One named shared-memory segment holding a float64 array."""
+    """One named shared-memory segment holding a float64 array.
 
-    name: str
-    array: np.ndarray
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
-    lock_acquisitions: int = 0
-    atomic_operations: int = 0
-    unsynchronised_writes: int = 0
+    The array is a view over a ``multiprocessing.shared_memory`` block, so a
+    worker process that attaches to :attr:`os_name` (via
+    :func:`attach_shared_array`) reads and writes the *same* physical memory.
+    The lock is a process-shared OS semaphore: it synchronises forked workers
+    that inherited it, as well as in-process cooperative workers.
+    """
+
+    __slots__ = (
+        "name", "array", "_shm", "_lock", "_freed",
+        "lock_acquisitions", "atomic_operations", "unsynchronised_writes",
+    )
+
+    def __init__(self, name: str, array: np.ndarray, shm: Any = None, lock: Any = None):
+        self.name = name
+        self.array = array
+        self._shm = shm
+        self._lock = lock if lock is not None else fork_context().Lock()
+        self._freed = False
+        #: Scheme cost counters (per-process; the cooperative simulation's
+        #: speed-up cost model consumes them).
+        self.lock_acquisitions = 0
+        self.atomic_operations = 0
+        self.unsynchronised_writes = 0
+
+    @property
+    def os_name(self) -> str | None:
+        """OS-level shared-memory name worker processes attach to."""
+        return self._shm.name if self._shm is not None else None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.array.shape)
 
     @contextmanager
     def lock(self) -> Iterator[np.ndarray]:
@@ -92,29 +167,82 @@ class SharedSegment:
         """Copy of the current contents (a worker's possibly-stale read)."""
         return self.array.copy()
 
+    def release(self) -> None:
+        """Unlink the OS block and drop the view.  Idempotent.
+
+        If an outside numpy view still exports the buffer, closing the mmap
+        is deferred to process exit — the name is unlinked either way, so a
+        double-freed or crashed run never leaves a ``/dev/shm`` entry behind.
+        """
+        if self._freed:
+            return
+        self._freed = True
+        shm, self._shm = self._shm, None
+        self.array = None  # type: ignore[assignment]
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:
+            _DEFERRED_CLOSE.append(shm)
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - freed concurrently
+            pass
+
+    def __repr__(self) -> str:
+        state = "freed" if self._freed else f"shape={self.shape}"
+        return f"SharedSegment(name={self.name!r}, {state})"
+
+
+#: Live arenas swept at interpreter exit so interrupted runs (Ctrl-C mid
+#: epoch, a test that never reaches its cleanup) cannot leak OS segments.
+_LIVE_ARENAS: "weakref.WeakSet[SharedMemoryArena]" = weakref.WeakSet()
+
+
+@atexit.register
+def _free_arenas_at_exit() -> None:  # pragma: no cover - exercised at interpreter exit
+    for arena in list(_LIVE_ARENAS):
+        arena.free_all()
+
 
 class SharedMemoryArena:
-    """A named collection of shared segments, one arena per database."""
+    """A named collection of shared segments, one arena per database.
+
+    Usable as a context manager (``with SharedMemoryArena() as arena: ...``)
+    — segments are freed on exit; every arena is additionally registered for
+    an ``atexit`` sweep, and freeing is idempotent, so no code path (including
+    interrupted runs) leaks ``/dev/shm`` blocks.
+    """
 
     def __init__(self) -> None:
         self._segments: dict[str, SharedSegment] = {}
+        _LIVE_ARENAS.add(self)
+
+    def __enter__(self) -> "SharedMemoryArena":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.free_all()
+
+    def _allocate_segment(self, name: str, initial: np.ndarray) -> SharedSegment:
+        if name in self._segments:
+            raise SharedMemoryError(f"shared segment already exists: {name!r}")
+        initial = np.asarray(initial, dtype=np.float64)
+        shm = _mp_shared_memory.SharedMemory(create=True, size=max(int(initial.nbytes), 1))
+        array = np.ndarray(initial.shape, dtype=np.float64, buffer=shm.buf)
+        array[...] = initial
+        segment = SharedSegment(name=name, array=array, shm=shm)
+        self._segments[name] = segment
+        return segment
 
     def allocate(self, name: str, shape: int | tuple[int, ...], *, fill: float = 0.0) -> SharedSegment:
         """Allocate a new named segment; fails if the name is taken."""
-        if name in self._segments:
-            raise SharedMemoryError(f"shared segment already exists: {name!r}")
-        array = np.full(shape, fill, dtype=np.float64)
-        segment = SharedSegment(name=name, array=array)
-        self._segments[name] = segment
-        return segment
+        return self._allocate_segment(name, np.full(shape, fill, dtype=np.float64))
 
     def allocate_from(self, name: str, initial: np.ndarray) -> SharedSegment:
         """Allocate a segment initialised from an existing array (copied)."""
-        if name in self._segments:
-            raise SharedMemoryError(f"shared segment already exists: {name!r}")
-        segment = SharedSegment(name=name, array=np.array(initial, dtype=np.float64, copy=True))
-        self._segments[name] = segment
-        return segment
+        return self._allocate_segment(name, initial)
 
     def attach(self, name: str) -> SharedSegment:
         """Attach to an existing segment."""
@@ -127,13 +255,19 @@ class SharedMemoryArena:
         return name in self._segments
 
     def free(self, name: str) -> None:
-        """Free a segment; freeing a missing segment is an error."""
-        if name not in self._segments:
-            raise SharedMemoryError(f"no shared segment named {name!r}")
-        del self._segments[name]
+        """Free a segment; freeing a missing or already-freed name is a no-op.
+
+        Idempotency matters for crash paths: cleanup handlers (context exits,
+        ``atexit``, test teardowns) may all race to free the same segment and
+        must never turn an interrupted run into a second error.
+        """
+        segment = self._segments.pop(name, None)
+        if segment is not None:
+            segment.release()
 
     def free_all(self) -> None:
-        self._segments.clear()
+        for name in list(self._segments):
+            self.free(name)
 
     def names(self) -> list[str]:
         return sorted(self._segments)
@@ -146,6 +280,7 @@ class SharedMemoryArena:
 # Shared-memory epoch simulation (Section 3.3)
 # ---------------------------------------------------------------------------
 SHARED_MEMORY_SCHEMES = ("lock", "aig", "nolock")
+SHARED_MEMORY_BACKENDS = ("simulated", "process")
 
 
 @dataclass(frozen=True)
@@ -158,6 +293,11 @@ class SharedMemoryParallelism:
     #: publishing its delta.  None picks the scheme default (1 for lock/aig,
     #: ``workers`` for nolock, approximating Hogwild staleness).
     staleness: int | None = None
+    #: ``"simulated"`` (default) interleaves the workers cooperatively in one
+    #: process — deterministic, used by the convergence experiments.
+    #: ``"process"`` runs real OS worker processes racing on an mmap-shared
+    #: model (:mod:`repro.db.process_backend`) — the measured Figure 9B path.
+    backend: str = "simulated"
     name: str = "shared_memory"
 
     def __post_init__(self) -> None:
@@ -165,6 +305,11 @@ class SharedMemoryParallelism:
             raise ValueError(
                 f"unknown shared-memory scheme {self.scheme!r}; "
                 f"expected one of {SHARED_MEMORY_SCHEMES}"
+            )
+        if self.backend not in SHARED_MEMORY_BACKENDS:
+            raise ValueError(
+                f"unknown shared-memory backend {self.backend!r}; "
+                f"expected one of {SHARED_MEMORY_BACKENDS}"
             )
         if self.workers <= 0:
             raise ValueError("workers must be positive")
@@ -195,7 +340,7 @@ def run_shared_memory_epoch(
     cache: "ExampleCache | None" = None,
     row_order: "Sequence[int] | None" = None,
 ) -> "tuple[Model, int]":
-    """Run one epoch of shared-memory parallel IGD.
+    """Run one epoch of shared-memory parallel IGD (cooperative simulation).
 
     ``examples`` is either a Table (rows are converted through the task) or a
     sequence of already-converted examples.  Returns the updated model and the
@@ -223,6 +368,12 @@ def run_shared_memory_epoch(
     workers read decoded examples from the shared plane — so the charge is
     applied once per published worker batch instead, mirroring how the serial
     chunked path charges per chunk.
+
+    This runner interleaves the workers cooperatively in one process, which
+    is what makes the lock/AIG/NoLock convergence traces deterministic
+    (Figure 9A).  The *measured* wall-clock path — real worker processes
+    attached to the same mmap'd model — is
+    :func:`repro.db.process_backend.run_process_shared_memory_epoch`.
     """
     from ..core.proximal import IdentityProximal
     from ..core.stepsize import make_schedule

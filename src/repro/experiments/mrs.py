@@ -21,7 +21,8 @@ from ..core.sampling import (
     run_multiplexed_reservoir_sampling,
     run_subsampling,
 )
-from ..data import make_sparse_classification
+from ..data import load_classification_table, make_sparse_classification
+from ..db.engine import Database
 from ..tasks.logistic_regression import LogisticRegressionTask
 from .harness import ExperimentScale, resolve_scale
 from .reporting import render_series, render_table
@@ -62,6 +63,19 @@ def _make_workload(scale: ExperimentScale, seed: int):
     return dataset, task
 
 
+def _load_workload_table(dataset):
+    """The clustered workload as a heap table plus a shared example cache.
+
+    The sampling runners index reservoirs into a stable table version, so one
+    decode (and one chunk-plane gather per buffer) serves every run of a
+    sweep — the Figure 10B buffer sweep stops re-decoding the corpus per
+    (scheme, fraction) combination.
+    """
+    database = Database("postgres", seed=0)
+    load_classification_table(database, "mrs_points", dataset.examples, sparse=True)
+    return database.table("mrs_points"), database.executor.example_cache
+
+
 def run_mrs_convergence(
     scale: ExperimentScale | str | None = None,
     *,
@@ -76,16 +90,17 @@ def run_mrs_convergence(
     buffer_size = max(2, int(buffer_fraction * len(dataset)))
     step_size = {"kind": "epoch_decay", "alpha0": 0.05, "decay": 0.92}
 
+    table, cache = _load_workload_table(dataset)
     subsampling = run_subsampling(
-        dataset.examples, task, buffer_size=buffer_size, step_size=step_size,
-        epochs=epochs, seed=seed,
+        table, task, buffer_size=buffer_size, step_size=step_size,
+        epochs=epochs, seed=seed, cache=cache,
     )
     clustered = run_clustered_no_shuffle(
-        dataset.examples, task, step_size=step_size, epochs=epochs, seed=seed
+        table, task, step_size=step_size, epochs=epochs, seed=seed, cache=cache
     )
     mrs = run_multiplexed_reservoir_sampling(
-        dataset.examples, task, buffer_size=buffer_size, step_size=step_size,
-        epochs=epochs, seed=seed,
+        table, task, buffer_size=buffer_size, step_size=step_size,
+        epochs=epochs, seed=seed, cache=cache,
     )
     return MRSConvergenceResult(
         traces={
@@ -169,15 +184,16 @@ def run_buffer_size_experiment(
     target = 2.0 * optimum
 
     result = BufferSizeResult(target_objective=target)
+    table, cache = _load_workload_table(dataset)
     for fraction in buffer_fractions:
         buffer_size = max(2, int(fraction * len(dataset)))
         subsampling = run_subsampling(
-            dataset.examples, task, buffer_size=buffer_size, step_size=step_size,
-            epochs=epochs, seed=seed,
+            table, task, buffer_size=buffer_size, step_size=step_size,
+            epochs=epochs, seed=seed, cache=cache,
         )
         mrs = run_multiplexed_reservoir_sampling(
-            dataset.examples, task, buffer_size=buffer_size, step_size=step_size,
-            epochs=epochs, seed=seed,
+            table, task, buffer_size=buffer_size, step_size=step_size,
+            epochs=epochs, seed=seed, cache=cache,
         )
         for scheme, run in (("subsampling", subsampling), ("mrs", mrs)):
             seconds = None

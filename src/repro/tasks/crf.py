@@ -393,12 +393,81 @@ class ConditionalRandomFieldTask(PerExampleChunkTask):
         labels.reverse()
         return labels
 
-    def token_accuracy(self, model: Model, examples: Sequence[SequenceExample]) -> float:
-        """Fraction of tokens whose Viterbi label matches the gold label."""
+    def predict_batch(self, model: Model, batch: SequenceBatch) -> list[list[int]]:
+        """Viterbi decoding of every sequence in a batch, in lockstep.
+
+        Inference used to loop per token per sequence; here the whole corpus
+        decodes together.  Token emission scores for *all* sequences are
+        gathered with a single ``reduceat`` over the batch's cached flattened
+        feature arrays, then the Viterbi recursion advances one time step at
+        a time across every still-active sequence at once (sequences are
+        processed in descending length order, so the active set is always a
+        prefix).  ``argmax``/``max`` run over the same candidate matrices as
+        :meth:`predict`, with identical tie-breaking, so the decoded labels
+        are exactly the per-sequence results.
+        """
+        examples = batch.examples
+        num_sequences = len(examples)
+        if num_sequences == 0:
+            return []
+        transition = model["transition"]
+        emission = model["emission"]
+        lengths = np.fromiter((len(e) for e in examples), dtype=np.intp, count=num_sequences)
+
+        # Longest first: the t-th Viterbi step then touches rows [0, active).
+        order = np.argsort(-lengths, kind="stable")
+        sorted_lengths = lengths[order]
+        max_length = int(sorted_lengths[0])
+        token_starts = np.zeros(num_sequences + 1, dtype=np.intp)
+        np.cumsum(sorted_lengths, out=token_starts[1:])
+
+        # One scoring pass for every token of every sequence: concatenate the
+        # cached flattened feature arrays and run the shared reduceat kernel.
+        flat_all = np.concatenate([batch.flat_features[i] for i in order])
+        counts_all = np.concatenate([np.diff(batch.token_offsets[i]) for i in order])
+        offsets_all = np.zeros(int(token_starts[-1]) + 1, dtype=np.intp)
+        np.cumsum(counts_all, out=offsets_all[1:])
+        scores_all = self._token_scores_cached(
+            emission, flat_all, offsets_all, int(token_starts[-1])
+        )
+
+        viterbi = scores_all[token_starts[:-1]].copy()  # (S, L): each row's t=0 scores
+        backpointer = np.zeros((num_sequences, max_length, self.num_labels), dtype=np.int64)
+        for t in range(1, max_length):
+            # Sequences still running at step t form the prefix [0, active).
+            active = int(np.searchsorted(-sorted_lengths, -t, side="left"))
+            candidate = viterbi[:active, :, None] + transition[None, :, :]
+            backpointer[:active, t] = np.argmax(candidate, axis=1)
+            viterbi[:active] = scores_all[token_starts[:active] + t] + np.max(candidate, axis=1)
+
+        labels = np.zeros((num_sequences, max_length), dtype=np.int64)
+        labels[np.arange(num_sequences), sorted_lengths - 1] = np.argmax(viterbi, axis=1)
+        for t in range(max_length - 1, 0, -1):
+            active = int(np.searchsorted(-sorted_lengths, -t, side="left"))
+            rows = np.arange(active)
+            labels[rows, t - 1] = backpointer[rows, t, labels[rows, t]]
+
+        results: list[list[int]] = [[] for _ in range(num_sequences)]
+        for sorted_index, original_index in enumerate(order):
+            results[int(original_index)] = labels[
+                sorted_index, : sorted_lengths[sorted_index]
+            ].tolist()
+        return results
+
+    def token_accuracy(
+        self, model: Model, examples: "Sequence[SequenceExample] | SequenceBatch"
+    ) -> float:
+        """Fraction of tokens whose Viterbi label matches the gold label.
+
+        Decodes the whole corpus with the batched Viterbi kernel; passing a
+        cached :class:`SequenceBatch` reuses its flattened feature arrays,
+        and a plain sequence of examples is flattened once here.
+        """
+        batch = examples if isinstance(examples, SequenceBatch) else SequenceBatch(list(examples))
+        predictions = self.predict_batch(model, batch)
         correct = 0
         total = 0
-        for example in examples:
-            predicted = self.predict(model, example)
+        for example, predicted in zip(batch.examples, predictions):
             correct += sum(1 for p, g in zip(predicted, example.labels) if p == g)
             total += len(example)
         return correct / total if total else 0.0

@@ -1,0 +1,121 @@
+"""MRS runners on the chunk plane: index reservoirs + gathered buffer epochs.
+
+The satellite contract: reservoirs hold row *indices* into a stable table
+version, examples resolve through the shared ExampleCache (decode once per
+version), and subsampling's buffer epochs run the chunked IGD kernel over
+batches gathered from the cached plane — all bit-for-bit the list-input
+behaviour the Figure 10 assertions were calibrated on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (
+    ReservoirSampler,
+    run_clustered_no_shuffle,
+    run_multiplexed_reservoir_sampling,
+    run_subsampling,
+)
+from repro.data import load_classification_table, make_sparse_classification
+from repro.db import Database
+from repro.tasks.base import ExampleCache
+from repro.tasks.logistic_regression import LogisticRegressionTask
+
+pytestmark = pytest.mark.backends
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = make_sparse_classification(140, 70, nonzeros_per_example=6, seed=3)
+    return dataset, LogisticRegressionTask(dataset.dimension)
+
+
+@pytest.fixture()
+def table_and_cache(workload):
+    dataset, _task = workload
+    database = Database("postgres", seed=0)
+    load_classification_table(database, "pts", dataset.examples, sparse=True)
+    return database.table("pts"), database.executor.example_cache
+
+
+class TestIndexReservoirParity:
+    def test_subsampling_table_matches_list_bit_for_bit(self, workload, table_and_cache):
+        dataset, task = workload
+        table, cache = table_and_cache
+        from_list = run_subsampling(
+            dataset.examples, task, buffer_size=30, epochs=4, step_size=0.1, seed=0
+        )
+        from_table = run_subsampling(
+            table, task, buffer_size=30, epochs=4, step_size=0.1, seed=0, cache=cache
+        )
+        assert np.array_equal(
+            from_list.model.as_flat_vector(), from_table.model.as_flat_vector()
+        )
+        assert from_list.objective_trace() == from_table.objective_trace()
+        assert from_list.buffer_size == from_table.buffer_size
+
+    def test_mrs_table_matches_list_bit_for_bit(self, workload, table_and_cache):
+        dataset, task = workload
+        table, cache = table_and_cache
+        from_list = run_multiplexed_reservoir_sampling(
+            dataset.examples, task, buffer_size=30, epochs=3, step_size=0.1, seed=0
+        )
+        from_table = run_multiplexed_reservoir_sampling(
+            table, task, buffer_size=30, epochs=3, step_size=0.1, seed=0, cache=cache
+        )
+        assert np.array_equal(
+            from_list.model.as_flat_vector(), from_table.model.as_flat_vector()
+        )
+        assert from_list.objective_trace() == from_table.objective_trace()
+
+    def test_clustered_reference_matches(self, workload, table_and_cache):
+        dataset, task = workload
+        table, cache = table_and_cache
+        from_list = run_clustered_no_shuffle(
+            dataset.examples, task, epochs=3, step_size=0.1, seed=0
+        )
+        from_table = run_clustered_no_shuffle(
+            table, task, epochs=3, step_size=0.1, seed=0, cache=cache
+        )
+        assert np.array_equal(
+            from_list.model.as_flat_vector(), from_table.model.as_flat_vector()
+        )
+
+    def test_reservoir_holds_plain_indices(self):
+        sampler = ReservoirSampler(5, np.random.default_rng(0))
+        for index in range(50):
+            sampler.offer(index)
+        sample = sampler.sample()
+        assert all(isinstance(item, int) for item in sample)
+        assert all(0 <= item < 50 for item in sample)
+
+
+class TestDecodeOncePerVersion:
+    def test_sweep_reuses_one_decode(self, workload, table_and_cache):
+        """A Figure-10B-style sweep decodes the corpus exactly once."""
+        dataset, task = workload
+        table, cache = table_and_cache
+        run_subsampling(table, task, buffer_size=20, epochs=2, step_size=0.1,
+                        seed=0, cache=cache)
+        misses = cache.misses
+        for buffer_size in (10, 40, 70):
+            run_subsampling(table, task, buffer_size=buffer_size, epochs=2,
+                            step_size=0.1, seed=0, cache=cache)
+            run_multiplexed_reservoir_sampling(
+                table, task, buffer_size=buffer_size, epochs=2, step_size=0.1,
+                seed=0, cache=cache,
+            )
+        assert cache.misses == misses
+
+    def test_table_mutation_invalidates(self, workload, table_and_cache):
+        dataset, task = workload
+        table, cache = table_and_cache
+        run_subsampling(table, task, buffer_size=20, epochs=1, step_size=0.1,
+                        seed=0, cache=cache)
+        misses = cache.misses
+        table.shuffle(seed=1)  # physical mutation bumps the version
+        run_subsampling(table, task, buffer_size=20, epochs=1, step_size=0.1,
+                        seed=0, cache=cache)
+        assert cache.misses > misses

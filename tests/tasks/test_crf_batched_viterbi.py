@@ -1,0 +1,83 @@
+"""Batched Viterbi decode: parity with the per-sequence kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_sequences
+from repro.tasks.crf import ConditionalRandomFieldTask, SequenceBatch, SequenceExample
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_sequences(40, num_labels=4, seed=9)
+
+
+@pytest.fixture(scope="module")
+def trained_model(corpus):
+    task = ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+    rng = np.random.default_rng(2)
+    model = task.initial_model()
+    model["emission"][:] = rng.normal(scale=0.8, size=model["emission"].shape)
+    model["transition"][:] = rng.normal(scale=0.8, size=model["transition"].shape)
+    return task, model
+
+
+class TestPredictBatch:
+    def test_matches_per_sequence_predict_exactly(self, corpus, trained_model):
+        task, model = trained_model
+        batch = SequenceBatch(list(corpus.examples))
+        batched = task.predict_batch(model, batch)
+        assert batched == [task.predict(model, e) for e in corpus.examples]
+
+    def test_single_sequence_and_single_token(self, trained_model):
+        task, model = trained_model
+        one_token = SequenceExample(token_features=((0, 2),), labels=(1,))
+        batch = SequenceBatch([one_token])
+        assert task.predict_batch(model, batch) == [task.predict(model, one_token)]
+
+    def test_mixed_lengths_and_empty_feature_tokens(self, trained_model):
+        task, model = trained_model
+        examples = [
+            SequenceExample(token_features=((0,), (), (1, 3)), labels=(0, 1, 2)),
+            SequenceExample(token_features=((2,),), labels=(1,)),
+            SequenceExample(token_features=((), (), (), (0,), (1,)), labels=(0, 0, 1, 2, 3)),
+        ]
+        batch = SequenceBatch(examples)
+        assert task.predict_batch(model, batch) == [task.predict(model, e) for e in examples]
+
+    def test_empty_batch(self, trained_model):
+        task, model = trained_model
+        assert task.predict_batch(model, SequenceBatch([])) == []
+
+    def test_gathered_batch_decodes_identically(self, corpus, trained_model):
+        """take() reorders the cached flat arrays; decode must follow."""
+        task, model = trained_model
+        batch = SequenceBatch(list(corpus.examples))
+        order = np.random.default_rng(4).permutation(len(corpus.examples))
+        gathered = batch.take(order)
+        assert task.predict_batch(model, gathered) == [
+            task.predict(model, corpus.examples[int(i)]) for i in order
+        ]
+
+
+class TestTokenAccuracy:
+    def test_accuracy_equals_per_sequence_computation(self, corpus, trained_model):
+        task, model = trained_model
+        correct = 0
+        total = 0
+        for example in corpus.examples:
+            predicted = task.predict(model, example)
+            correct += sum(1 for p, g in zip(predicted, example.labels) if p == g)
+            total += len(example)
+        assert task.token_accuracy(model, corpus.examples) == pytest.approx(correct / total)
+
+    def test_accepts_cached_sequence_batch(self, corpus, trained_model):
+        task, model = trained_model
+        batch = SequenceBatch(list(corpus.examples))
+        assert task.token_accuracy(model, batch) == task.token_accuracy(model, corpus.examples)
+
+    def test_empty_corpus(self, trained_model):
+        task, model = trained_model
+        assert task.token_accuracy(model, []) == 0.0

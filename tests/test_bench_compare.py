@@ -1,0 +1,75 @@
+"""Unit tests for ``benchmarks/run_bench.py --compare`` snapshot diffing."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", REPO_ROOT / "benchmarks" / "run_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+run_bench = _load_run_bench()
+
+
+def snapshot(**figure_seconds) -> dict:
+    return {
+        "figure_seconds": dict(figure_seconds),
+        "figure_total_seconds": round(sum(figure_seconds.values()), 4),
+    }
+
+
+class TestCompareSnapshots:
+    def test_no_regression_within_threshold(self):
+        _lines, regressions = run_bench.compare_snapshots(
+            snapshot(fig_a=1.10, fig_b=0.50),
+            snapshot(fig_a=1.00, fig_b=0.52),
+        )
+        assert regressions == []
+
+    def test_flags_large_regression(self):
+        lines, regressions = run_bench.compare_snapshots(
+            snapshot(fig_a=2.00), snapshot(fig_a=1.00)
+        )
+        assert regressions == ["fig_a"]
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_custom_threshold(self):
+        _lines, regressions = run_bench.compare_snapshots(
+            snapshot(fig_a=1.20), snapshot(fig_a=1.00), threshold=0.10
+        )
+        assert regressions == ["fig_a"]
+        _lines, regressions = run_bench.compare_snapshots(
+            snapshot(fig_a=1.20), snapshot(fig_a=1.00), threshold=0.30
+        )
+        assert regressions == []
+
+    def test_absolute_floor_filters_tiny_figures(self):
+        # 0.010s -> 0.030s is a 200% slowdown but only 20ms: scheduler noise.
+        _lines, regressions = run_bench.compare_snapshots(
+            snapshot(tiny=0.030), snapshot(tiny=0.010)
+        )
+        assert regressions == []
+
+    def test_new_and_removed_figures_never_fail(self):
+        lines, regressions = run_bench.compare_snapshots(
+            snapshot(fig_new=5.0), snapshot(fig_old=5.0)
+        )
+        assert regressions == []
+        assert any("new figure" in line for line in lines)
+        assert any("removed" in line for line in lines)
+
+    def test_improvements_are_reported(self):
+        lines, regressions = run_bench.compare_snapshots(
+            snapshot(fig_a=0.50), snapshot(fig_a=1.00)
+        )
+        assert regressions == []
+        assert any("-50.0%" in line for line in lines)

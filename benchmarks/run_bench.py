@@ -84,6 +84,7 @@ def _figures(scale: str) -> dict:
         run_parallel_convergence,
         run_scalability_experiment,
         run_speedup_experiment,
+        run_whole_loop_experiment,
     )
 
     return {
@@ -97,6 +98,7 @@ def _figures(scale: str) -> dict:
         "fig8_ordering": lambda: run_data_ordering_experiment(scale),
         "fig9a_parallel": lambda: run_parallel_convergence(scale),
         "fig9b_speedup": lambda: run_speedup_experiment(scale),
+        "whole_loop_parallel": lambda: run_whole_loop_experiment(scale),
         "fig10a_mrs": lambda: run_mrs_convergence(scale),
     }
 

@@ -16,9 +16,16 @@ import numpy as np
 
 from ..db.engine import Database
 from ..db.parallel import SegmentedDatabase
-from ..db.shared_memory import SharedMemoryParallelism, run_shared_memory_epoch
+from ..db.pass_plan import (
+    TrainEpochContext,
+    compile_pass,
+    epoch_backend,
+    evaluation_backend,
+)
+from ..db.shared_memory import SharedMemoryParallelism
 from ..db.table import Table
 from ..tasks.base import Task
+from .batching import BatchSchedule, make_batch_schedule
 from .convergence import EpochRecord, StoppingRule, make_stopping_rule
 from .model import Model
 from .ordering import OrderingPolicy, make_ordering
@@ -58,19 +65,26 @@ class IGDConfig:
     execution: str = "auto"
     #: Mini-batch size.  1 (default) is the paper's exact IGD: one gradient
     #: step per tuple.  B > 1 is opt-in mini-batch SGD — one averaged-gradient
-    #: step per B examples — and requires the chunked path.
-    batch_size: int = 1
+    #: step per B examples — and requires the chunked path.  A
+    #: :class:`~repro.core.batching.BatchSchedule` (or its dict spec) makes
+    #: the size epoch-adaptive: constant or geometric growth.
+    batch_size: int | BatchSchedule | dict = 1
+    #: Whether a process-backed parallel run also executes its loss/objective
+    #: pass on the worker pool (the whole-loop parallelisation).  False keeps
+    #: the gradient-only parallelisation: evaluation stays on the serial
+    #: vectorized path.  Irrelevant for serial and in-process parallel runs,
+    #: whose evaluation is serial either way.
+    parallel_evaluation: bool = True
 
     def __post_init__(self) -> None:
         if self.execution not in ("auto", "per_tuple", "chunked"):
             raise ValueError(f"unknown execution mode {self.execution!r}")
-        if self.batch_size <= 0:
-            raise ValueError("batch_size must be positive")
-        if self.batch_size > 1 and self.execution == "per_tuple":
-            raise ValueError("mini-batch IGD (batch_size > 1) requires the chunked path")
-        if self.batch_size > 1 and self.parallelism is not None:
-            raise ValueError("mini-batch IGD is only implemented for serial execution")
-        if self.batch_size > 1:
+        schedule = make_batch_schedule(self.batch_size)
+        if schedule.max_batch_size(self.max_epochs) > 1:
+            if self.execution == "per_tuple":
+                raise ValueError("mini-batch IGD (batch_size > 1) requires the chunked path")
+            if self.parallelism is not None:
+                raise ValueError("mini-batch IGD is only implemented for serial execution")
             # "auto" would silently fall back to per-tuple on an unbatchable
             # workload and then die mid-epoch; mini-batch runs must instead
             # fail fast at the aggregation entry point.
@@ -81,6 +95,9 @@ class IGDConfig:
 
     def resolved_ordering(self) -> OrderingPolicy:
         return make_ordering(self.ordering)
+
+    def resolved_batch_schedule(self) -> BatchSchedule:
+        return make_batch_schedule(self.batch_size)
 
 
 @dataclass
@@ -245,131 +262,88 @@ class BismarckRunner:
         ordering: OrderingPolicy,
         rng: np.random.Generator,
     ) -> tuple[Model, int]:
+        """Compile this epoch's gradient pass to a PassPlan and execute it.
+
+        The former spec×backend ``if/elif`` ladder lives in
+        :func:`repro.db.pass_plan.epoch_backend`; here we only gather the
+        epoch's ingredients (visit orders, aggregate factory, epoch context)
+        into one plan that any backend can run.
+        """
         spec = self.config.parallelism
-
-        if isinstance(spec, SharedMemoryParallelism):
-            if isinstance(self.database, SegmentedDatabase):
-                engine = self.database.master
-            else:
-                engine = self.database
-            if spec.backend == "process":
-                # Real OS worker processes racing on the mmap-shared model.
-                if self.config.execution == "per_tuple":
-                    raise ValueError(
-                        "the process backend serves workers from the cached "
-                        "chunk plane and cannot replay the per-tuple protocol"
-                    )
-                from ..db.process_backend import run_process_shared_memory_epoch
-
-                return run_process_shared_memory_epoch(
-                    table,
-                    self.task,
-                    model,
-                    schedule,
-                    spec=spec,
-                    pool=engine.process_pool(spec.workers),
-                    arena=engine.shared_memory,
-                    cache=engine.executor.example_cache,
-                    epoch=epoch,
-                    step_offset=step_offset,
-                    proximal=proximal,
-                    row_order=ordering.epoch_row_order(len(table), epoch, rng),
-                    charge_per_worker=engine.executor._charge_overhead,
-                )
-            # The shared-memory epoch rides the unified chunk plane: workers
-            # slice the executor's cached decoded examples zero-copy unless
-            # the run explicitly asks for the paper's per-tuple protocol.
-            cache = None
-            if self.config.execution != "per_tuple":
-                cache = engine.executor.example_cache
-            updated, steps = run_shared_memory_epoch(
-                table,
-                self.task,
-                model,
-                schedule,
-                spec=spec,
-                epoch=epoch,
-                step_offset=step_offset,
-                proximal=proximal,
-                arena=engine.shared_memory,
-                charge_per_tuple=engine.executor._charge_overhead,
-                cache=cache,
-                row_order=ordering.epoch_row_order(len(table), epoch, rng),
+        if (
+            isinstance(spec, SharedMemoryParallelism)
+            and spec.backend == "process"
+            and self.config.execution == "per_tuple"
+        ):
+            raise ValueError(
+                "the process backend serves workers from the cached "
+                "chunk plane and cannot replay the per-tuple protocol"
             )
-            return updated, steps
-
-        aggregate = IGDAggregate(
+        batch_size = self.config.resolved_batch_schedule().batch_size(epoch)
+        factory = lambda: IGDAggregate(  # noqa: E731 - tiny closure
             self.task,
             schedule,
             initial_model=model,
             proximal=proximal,
             epoch=epoch,
             step_offset=step_offset,
-            batch_size=self.config.batch_size,
+            batch_size=batch_size,
         )
-
-        if isinstance(spec, PureUDAParallelism):
-            if not isinstance(self.database, SegmentedDatabase):
-                raise TypeError(
-                    "pure-UDA parallelism requires a SegmentedDatabase "
-                    "(shared-nothing segments)"
-                )
-            factory = lambda: IGDAggregate(  # noqa: E731 - tiny closure
-                self.task,
-                schedule,
-                initial_model=model,
-                proximal=proximal,
-                epoch=epoch,
-                step_offset=step_offset,
-            )
+        row_order = None
+        segment_orders: list | None = None
+        if isinstance(spec, PureUDAParallelism) and isinstance(self.database, SegmentedDatabase):
             # Logical shuffles permute each shared-nothing segment in place
             # (rows never migrate between segments, exactly like independent
             # segment-local ORDER BY RANDOM() runs — the partition index keys
             # each segment's own permutation), so per-segment example caches
             # survive every re-shuffle.
-            segment_orders: list | None = [
+            segment_orders = [
                 ordering.epoch_row_order(len(segment), epoch, rng, partition=index)
                 for index, segment in enumerate(self.database.segments_of(table_name))
             ]
             if all(order is None for order in segment_orders):
                 segment_orders = None
-            outcome = self.database.run_parallel_aggregate(
-                table_name, factory, segment_row_orders=segment_orders,
-                execution=self.config.execution, backend=spec.backend,
-            )
-            updated: Model = outcome.value
-            steps = int(updated.metadata.get("gradient_steps", len(table))) - step_offset
-            return updated, max(steps, 0)
-
-        # Serial in-RDBMS run: one UDA invocation over the table, on the
-        # configured execution path (chunked columnar when supported).
-        if isinstance(self.database, SegmentedDatabase):
-            engine = self.database.master
         else:
-            engine = self.database
-        updated = engine.run_aggregate(
-            table_name,
-            aggregate,
-            row_order=ordering.epoch_row_order(len(table), epoch, rng),
+            row_order = ordering.epoch_row_order(len(table), epoch, rng)
+        backend = epoch_backend(self.database, spec)
+        plan = compile_pass(
+            "train",
+            table,
+            factory,
+            row_order=row_order,
             execution=self.config.execution,
+            workers=getattr(spec, "workers", 1) or 1,
+            train=TrainEpochContext(
+                task=self.task,
+                model=model,
+                schedule=schedule,
+                proximal=proximal,
+                epoch=epoch,
+                step_offset=step_offset,
+                spec=spec,
+                batch_size=batch_size,
+                segment_row_orders=segment_orders,
+            ),
         )
-        steps = int(updated.metadata.get("gradient_steps", len(table))) - step_offset
-        return updated, max(steps, 0)
+        return backend.run(plan)
 
     def _compute_objective(
         self, table_name: str, table: Table, model: Model, proximal: ProximalOperator
     ) -> float:
-        loss_aggregate = LossAggregate(self.task, model)
-        if isinstance(self.database, SegmentedDatabase):
-            engine = self.database.master
-        else:
-            engine = self.database
-        # The loss pass rides the same execution path as training; the shared
+        # The loss pass rides the same execution path — and, for
+        # process-backed runs, the same worker pool — as training; the shared
         # example cache is keyed on the table's version, so any shuffle or
         # re-clustering between epochs busts it automatically.
-        data_term = engine.run_aggregate(
-            table_name, loss_aggregate, execution=self.config.execution
+        spec = self.config.parallelism if self.config.parallel_evaluation else None
+        backend, workers = evaluation_backend(self.database, spec)
+        plan = compile_pass(
+            "loss",
+            table,
+            lambda: LossAggregate(self.task, model),
+            execution=self.config.execution,
+            workers=workers,
         )
+        data_term = backend.run(plan)
         return float(data_term) + proximal.penalty(model)
 
 

@@ -192,6 +192,9 @@ class LossAggregate(UserDefinedAggregate):
 
     wants_row = True
     supports_merge = True
+    # Scalar reduction: whole chunks may be dealt to parallel workers and the
+    # (total, count) partials merged exactly, left-to-right.
+    chunk_partitionable = True
 
     def __init__(self, task: Task, model: Model):
         self.task = task
@@ -235,6 +238,9 @@ class AccuracyAggregate(UserDefinedAggregate):
 
     wants_row = True
     supports_merge = True
+    # Integer-counter reduction: chunk partitioning is not just reproducible
+    # but exactly equal to any serial order (integer sums are associative).
+    chunk_partitionable = True
 
     def __init__(self, task: Task, model: Model):
         if not hasattr(task, "classify"):

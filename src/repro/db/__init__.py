@@ -40,9 +40,22 @@ from .errors import (
     UnknownFunctionError,
     UnknownTableError,
 )
-from .chunk_plan import ChunkPlan, partition_round_robin
+from .chunk_plan import ChunkPlan, partition_round_robin, resolve_ordinals, split_round_robin
 from .executor import QueryResult
 from .parallel import ParallelAggregateResult, SegmentedDatabase
+from .pass_plan import (
+    PASS_KINDS,
+    ExecutionBackend,
+    PassPlan,
+    ProcessBackend,
+    SegmentedBackend,
+    SerialBackend,
+    SharedMemoryBackend,
+    TrainEpochContext,
+    compile_pass,
+    epoch_backend,
+    evaluation_backend,
+)
 from .process_backend import (
     ProcessWorkerPool,
     available_cores,
@@ -63,6 +76,19 @@ __all__ = [
     "AggregateRegistry",
     "CatalogError",
     "ChunkPlan",
+    "ExecutionBackend",
+    "PASS_KINDS",
+    "PassPlan",
+    "ProcessBackend",
+    "SegmentedBackend",
+    "SerialBackend",
+    "SharedMemoryBackend",
+    "TrainEpochContext",
+    "compile_pass",
+    "epoch_backend",
+    "evaluation_backend",
+    "resolve_ordinals",
+    "split_round_robin",
     "Column",
     "ColumnType",
     "DBMS_A",

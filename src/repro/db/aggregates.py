@@ -61,6 +61,20 @@ class UserDefinedAggregate:
     supports_chunks: bool = False
     chunk_decoder: Any = None
 
+    #: Merge-contract refinement for the parallel pass backends.  A pass over
+    #: a mergeable aggregate may always be split into row partitions whose
+    #: partial states merge left-to-right (the pure-UDA contract).  Aggregates
+    #: that additionally set ``chunk_partitionable`` declare that *whole
+    #: cached chunks* can be dealt to workers and consumed through
+    #: ``transition_chunk`` — i.e. the state is a reduction whose value does
+    #: not depend on which worker saw which chunk, only on the deterministic
+    #: left-to-right merge of the partials.  Scalar reductions (loss,
+    #: accuracy, counts) qualify; order-sensitive aggregates like IGD — where
+    #: ``transition`` at position k depends on the state after position k-1 —
+    #: must not, or a partitioned pass would silently compute a different
+    #: (still valid, but non-reproducible) result than its serial plan.
+    chunk_partitionable: bool = False
+
     def initialize(self) -> Any:
         raise NotImplementedError
 
@@ -87,6 +101,21 @@ class UserDefinedAggregate:
         for value in values:
             state = self.transition(state, value)
         return self.terminate(state)
+
+
+def merge_partial_states(instance: UserDefinedAggregate, states: "list[Any]") -> Any:
+    """Merge partition partials left-to-right, then terminate.
+
+    This is *the* merge contract of the parallel pass backends: partials
+    combine in partition-index order and only then ``terminate``.  Every
+    backend (serial reference runner, segmented engine, process pool) must
+    call this one helper so the association order — which fixes the exact
+    float result — can never drift between them.
+    """
+    merged = states[0]
+    for state in states[1:]:
+        merged = instance.merge(merged, state)
+    return instance.terminate(merged)
 
 
 class FunctionalAggregate(UserDefinedAggregate):

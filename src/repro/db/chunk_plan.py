@@ -50,6 +50,45 @@ def partition_round_robin(num_items: int, workers: int) -> list[list[int]]:
     return partitions
 
 
+def split_round_robin(ordinals: np.ndarray, workers: int) -> list[np.ndarray]:
+    """Round-robin split of a resolved visit-ordinal array across workers.
+
+    Position ``i`` of the visit order goes to worker ``i % workers`` — the
+    identical layout :func:`partition_round_robin` gives segments, expressed
+    as strided views so no per-item Python loop runs.  This is the partition
+    contract every pass backend shares: the serial reference runner and the
+    process workers consume exactly these partitions, which is what makes
+    their results bit-for-bit comparable.
+    """
+    return [ordinals[worker::workers] for worker in range(workers)]
+
+
+def resolve_ordinals(
+    table: "Table",
+    cache: "ExampleCache",
+    functions: Mapping[str, Callable] | None,
+    where: "Expression | None",
+    row_order: Sequence[int] | None,
+) -> np.ndarray | None:
+    """Example ordinals for one pass; ``None`` means every row in heap order.
+
+    Mirrors :meth:`ChunkPlan.resolve`: the visit order is walked first and
+    rows failing the WHERE predicate are dropped, using the cached
+    per-version selection vector.
+    """
+    if where is None and row_order is None:
+        return None
+    mask = cache.selection_for(table, where, functions) if where is not None else None
+    if mask is not None:
+        if row_order is not None:
+            order = np.asarray(row_order, dtype=np.intp)
+            order = np.where(order < 0, order + mask.shape[0], order)
+            return order[mask[order]]
+        return np.flatnonzero(mask)
+    order = np.asarray(row_order, dtype=np.intp)
+    return np.where(order < 0, order + len(table), order)
+
+
 def gather_batches(
     batches: list, ordinals: np.ndarray, chunk_size: int
 ) -> list | None:

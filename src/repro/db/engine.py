@@ -215,6 +215,25 @@ class Database:
             pool.close()
         self._process_pools.clear()
 
+    def close(self) -> None:
+        """Release every OS resource the engine owns.  Idempotent.
+
+        Reaps the process-backend worker pools and frees all shared-memory
+        arena segments.  The ``atexit`` sweeps remain as a crash net, but
+        deterministic callers (the driver, the experiment harness, tests)
+        should close engines — or use ``with Database(...) as db:`` — so no
+        worker processes or ``/dev/shm`` blocks outlive the run that made
+        them.
+        """
+        self.close_process_pools()
+        self.shared_memory.free_all()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def run_aggregate(
         self,
         table_name: str,
@@ -243,6 +262,7 @@ class Database:
         return self.executor.run_aggregate(
             table, aggregate, argument, where=where, row_order=row_order,
             execution=execution, backend=backend, process_pool=pool,
+            process_workers=process_workers,
         )
 
     # ------------------------------------------------------------------ misc

@@ -18,7 +18,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from .aggregates import AggregateRegistry, UserDefinedAggregate
+from .aggregates import AggregateRegistry, UserDefinedAggregate, merge_partial_states
 from .chunk_plan import ChunkPlan
 from .errors import ExecutionError
 from .expressions import Expression, FunctionCall, Star
@@ -294,6 +294,80 @@ class Executor:
             raise ExecutionError("overhead accumulator underflow")
         return state
 
+    def run_chunk_partitioned(
+        self,
+        table: Table,
+        instance: UserDefinedAggregate,
+        workers: int,
+    ) -> Any:
+        """Serial reference for a chunk-partitioned scalar pass.
+
+        Runs the same partition contract as the process backend — worker ``w``
+        consumes cached chunks ``w::width`` in ascending order, partial states
+        merge left-to-right — sequentially in this process, so a process run
+        of the same plan is bit-for-bit this result.  Returns the sentinel
+        ``_CHUNKS_UNSUPPORTED`` when no chunk plan resolves.
+        """
+        plan = self.chunk_plan(table, instance)
+        if plan is None:
+            return _CHUNKS_UNSUPPORTED
+        batches = plan.batches
+        width = max(1, min(workers, len(batches)) if batches else 1)
+        table.scan_count += 1
+        states = []
+        for worker in range(width):
+            self._charge_overhead(instance.state_passing_units)
+            state = instance.initialize()
+            for chunk_id in range(worker, len(batches), width):
+                state = instance.transition_chunk(state, batches[chunk_id])
+            states.append(state)
+        return merge_partial_states(instance, states)
+
+    def run_row_partitioned(
+        self,
+        table: Table,
+        instance: UserDefinedAggregate,
+        workers: int,
+        *,
+        where: Expression | None = None,
+        row_order: Sequence[int] | None = None,
+        argument: Expression | None = None,
+    ) -> Any:
+        """Serial reference for a row-partitioned mergeable pass.
+
+        The visit ordinals (WHERE + row order composed exactly like the chunk
+        plane) split round-robin by position; each partition replays
+        per-example transitions over the cache-decoded examples (task-backed
+        aggregates) or per-row transitions over the heap (generic aggregates),
+        and the partials merge left-to-right.  This is the in-process
+        counterpart of the process backend's example/row partitioning: same
+        partitions, same float operations, same merge order — bit-for-bit.
+        """
+        from .chunk_plan import resolve_ordinals, split_round_robin
+
+        decoder = instance.chunk_decoder
+        ordinals = resolve_ordinals(table, self.example_cache, self.functions, where, row_order)
+        if ordinals is None:
+            ordinals = np.arange(len(table), dtype=np.intp)
+        width = max(1, min(workers, ordinals.shape[0]) if ordinals.shape[0] else 1)
+        if decoder is not None:
+            items: Sequence[Any] = self.example_cache.examples_for(table, decoder)
+        else:
+            items = table.to_rows()
+        table.scan_count += 1
+        wants_row = instance.wants_row or argument is None
+        states = []
+        for part in split_round_robin(ordinals, width):
+            self._charge_overhead(instance.state_passing_units)
+            state = instance.initialize()
+            for ordinal in part:
+                item = items[int(ordinal)]
+                if decoder is None and not wants_row:
+                    item = argument.evaluate(item, self.functions)
+                state = instance.transition(state, item)
+            states.append(state)
+        return merge_partial_states(instance, states)
+
     def _run_aggregate_chunked(
         self,
         table: Table,
@@ -319,6 +393,7 @@ class Executor:
         execution: str = "per_tuple",
         backend: str = "in_process",
         process_pool=None,
+        process_workers: int | None = None,
     ) -> Any:
         """Run a single aggregate over a table without going through SQL.
 
@@ -350,6 +425,10 @@ class Executor:
         instance = (
             self.aggregates.create(aggregate) if isinstance(aggregate, str) else aggregate
         )
+        if isinstance(argument, str):
+            from .expressions import ColumnRef
+
+            argument = ColumnRef(argument)
         if backend == "process":
             if execution == "per_tuple":
                 raise ExecutionError(
@@ -367,10 +446,12 @@ class Executor:
                 return run_process_aggregate(
                     self, table, instance, pool=process_pool,
                     where=where, row_order=row_order,
+                    workers=process_workers, argument=argument, execution=execution,
                 )
             with ProcessWorkerPool(default_process_workers()) as pool:
                 return run_process_aggregate(
-                    self, table, instance, pool=pool, where=where, row_order=row_order
+                    self, table, instance, pool=pool, where=where, row_order=row_order,
+                    workers=process_workers, argument=argument, execution=execution,
                 )
         if execution != "per_tuple":
             if instance.supports_chunks:
@@ -384,13 +465,7 @@ class Executor:
                     f"aggregate {type(instance).__name__} cannot run chunked over "
                     f"table {table.name!r} (unsupported aggregate, task or column types)"
                 )
-        argument_expression: Expression | None
-        if isinstance(argument, str):
-            from .expressions import ColumnRef
-
-            argument_expression = ColumnRef(argument)
-        else:
-            argument_expression = argument
+        argument_expression: Expression | None = argument
 
         state = instance.initialize()
         overhead_sink = 0.0

@@ -236,7 +236,8 @@ class SegmentedDatabase:
         states left-to-right exactly like the in-process path, so the result
         is bit-for-bit identical for a fixed seed and segment count.
         """
-        from .process_backend import resolve_ordinals, run_partitioned_uda
+        from .chunk_plan import resolve_ordinals
+        from .process_backend import run_partitioned_uda
 
         executor = self.master.executor
         pool = self.master.process_pool(len(segments))
@@ -329,6 +330,16 @@ class SegmentedDatabase:
     def close_process_pools(self) -> None:
         """Reap the master engine's process-backend worker pools."""
         self.master.close_process_pools()
+
+    def close(self) -> None:
+        """Release the master engine's OS resources (pools, arena).  Idempotent."""
+        self.master.close()
+
+    def __enter__(self) -> "SegmentedDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def shuffle_table(self, name: str, *, seed: int | None = None) -> None:
         """Shuffle the master copy and redistribute segments."""

@@ -49,6 +49,8 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from .aggregates import merge_partial_states
+from .chunk_plan import resolve_ordinals, split_round_robin
 from .errors import ExecutionError
 from .shared_memory import (
     SharedMemoryArena,
@@ -176,6 +178,41 @@ def _run_uda_state(payloads: dict, msg: tuple) -> Any:
     return state
 
 
+def _run_chunk_uda_state(payloads: dict, msg: tuple) -> Any:
+    """initialize + transition_chunk over this worker's assigned chunk ids.
+
+    The payload is the table's cached columnar chunk list (shipped pickled
+    once per table version); the message carries only chunk ordinals, so a
+    per-epoch loss/accuracy pass costs one small message per worker.
+    """
+    _, key, instance, chunk_ids = msg
+    batches = payloads[key]
+    state = instance.initialize()
+    for chunk_id in chunk_ids:
+        state = instance.transition_chunk(state, batches[int(chunk_id)])
+    return state
+
+
+def _run_generic_uda_state(payloads: dict, msg: tuple) -> Any:
+    """initialize + transition over raw rows for a generic (non-task) aggregate.
+
+    The payload is the table's raw row block; the message ships the pickled
+    aggregate instance, the argument expression and any scalar UDFs it
+    references, so built-in SQL aggregates (SUM/AVG/STDDEV/...) parallelise
+    without a decoding task.
+    """
+    _, key, instance, argument, ordinals, functions = msg
+    rows = payloads[key]
+    state = instance.initialize()
+    transition = instance.transition
+    wants_row = instance.wants_row or argument is None
+    for ordinal in ordinals:
+        row = rows[int(ordinal)]
+        value = row if wants_row else argument.evaluate(row, functions)
+        state = transition(state, value)
+    return state
+
+
 def _worker_main(conn, lock) -> None:
     """Long-lived worker loop: cache payloads, run epochs, return states."""
     payloads: dict = {}
@@ -199,6 +236,10 @@ def _worker_main(conn, lock) -> None:
                 conn.send(("ok", None))
             elif op == "uda_state":
                 conn.send(("ok", _run_uda_state(payloads, msg)))
+            elif op == "chunk_uda":
+                conn.send(("ok", _run_chunk_uda_state(payloads, msg)))
+            elif op == "generic_uda":
+                conn.send(("ok", _run_generic_uda_state(payloads, msg)))
             elif op == "shmem_epoch":
                 conn.send(("ok", _run_shmem_epoch(payloads, lock, msg[1])))
             else:
@@ -300,12 +341,24 @@ class ProcessWorkerPool:
 
         All messages are sent before any reply is read, so workers execute
         concurrently; replies are collected in worker order, which is what
-        keeps merge order deterministic.
+        keeps merge order deterministic.  Messages are pickled *before* the
+        first send: an unpicklable aggregate or expression fails cleanly
+        instead of desyncing the pipe protocol halfway through a scatter.
         """
         if self._closed:
             raise ExecutionError("process pool is closed")
+        encoded: dict[int, bytes] = {}
         for worker, message in messages.items():
-            self._conns[worker].send(message)
+            try:
+                encoded[worker] = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as error:
+                raise ExecutionError(
+                    f"process-backend message for worker {worker} is not picklable "
+                    f"({error}); aggregates, expressions and UDFs shipped to the "
+                    "pool must be module-level (no lambdas or closures)"
+                ) from error
+        for worker, payload in encoded.items():
+            self._conns[worker].send_bytes(payload)
         return self._gather(list(messages))
 
     def ensure_loaded(
@@ -374,37 +427,21 @@ class ProcessWorkerPool:
 
 
 # ---------------------------------------------------------------------------
-# Ordinal resolution (WHERE + row order, the chunk plane's composition rule)
+# Payload keys (worker-side caches, shipped pickled-once per key)
 # ---------------------------------------------------------------------------
-def resolve_ordinals(
-    table: Table,
-    cache: "ExampleCache",
-    functions: Mapping[str, Callable] | None,
-    where,
-    row_order: Sequence[int] | None,
-) -> np.ndarray | None:
-    """Example ordinals for one pass; ``None`` means every row in heap order.
-
-    Mirrors :meth:`~repro.db.chunk_plan.ChunkPlan.resolve`: the visit order
-    is walked first and rows failing the WHERE predicate are dropped, using
-    the cached per-version selection vector.
-    """
-    if where is None and row_order is None:
-        return None
-    mask = cache.selection_for(table, where, functions) if where is not None else None
-    if mask is not None:
-        if row_order is not None:
-            order = np.asarray(row_order, dtype=np.intp)
-            order = np.where(order < 0, order + mask.shape[0], order)
-            return order[mask[order]]
-        return np.flatnonzero(mask)
-    order = np.asarray(row_order, dtype=np.intp)
-    return np.where(order < 0, order + len(table), order)
-
-
 def payload_key(table: Table, decoder: Any) -> tuple:
     """Worker-side payload key for one (table, version, decoding task)."""
     return ("examples", table.name, table.version, id(decoder))
+
+
+def batches_payload_key(table: Table, decoder: Any, chunk_size: int) -> tuple:
+    """Worker-side payload key for one table's cached columnar chunk list."""
+    return ("batches", table.name, table.version, id(decoder), chunk_size)
+
+
+def rows_payload_key(table: Table) -> tuple:
+    """Worker-side payload key for one table's raw row block."""
+    return ("rows", table.name, table.version)
 
 
 # ---------------------------------------------------------------------------
@@ -464,35 +501,162 @@ def run_process_aggregate(
     pool: ProcessWorkerPool,
     where=None,
     row_order: Sequence[int] | None = None,
+    workers: int | None = None,
+    argument=None,
+    execution: str = "auto",
 ) -> Any:
     """Run one mergeable aggregate over round-robin partitions of a table.
 
     The partition contract is :func:`partition_round_robin` over the visit
     ordinals — the same layout the segmented engine uses — so the result is
     bit-for-bit identical to a :class:`~repro.db.parallel.SegmentedDatabase`
-    run with ``num_segments == pool.workers``.
+    run with ``num_segments == pool.workers``.  ``workers`` caps the fan-out
+    below the pool size (a compiled :class:`~repro.db.pass_plan.PassPlan`
+    carries the requested width).
+
+    Three partition strategies, chosen by the aggregate's contract:
+
+    * **chunk-partitioned** — scalar reductions that declare
+      ``chunk_partitionable`` (loss, accuracy) ship the cached columnar chunk
+      list once per table version and fan whole chunks out to workers, so the
+      per-worker kernel stays vectorized;
+    * **example-partitioned** — order-sensitive task-backed aggregates (IGD)
+      ship cache-decoded examples and replay per-example transitions;
+    * **generic rows** — aggregates without a decoding task (built-in SQL
+      aggregates) ship the raw row block plus the picklable argument
+      expression and any scalar UDFs it references.
     """
     if not instance.supports_merge:
         raise ExecutionError(
             f"aggregate {type(instance).__name__} does not support merge; "
             "the process backend requires an algebraic (mergeable) aggregate"
         )
+    wants_chunks = (
+        instance.chunk_partitionable and where is None and row_order is None
+    )
+    if wants_chunks and instance.supports_chunks:
+        outcome = run_process_chunk_aggregate(
+            executor, table, instance, pool=pool, workers=workers
+        )
+        if outcome is not _NO_CHUNK_PLAN:
+            return outcome
+    if execution == "chunked" and (wants_chunks or instance.chunk_decoder is None):
+        # Match the serial contract: an explicit "chunked" request errors
+        # instead of silently degrading when the vectorized path is
+        # unavailable.  (Filtered/ordered scalar passes and order-sensitive
+        # task-backed aggregates are *served by the chunk plane* through
+        # cache-decoded examples and resolved ordinals, so they are not a
+        # degradation and run under "chunked" as before.)
+        raise ExecutionError(
+            f"aggregate {type(instance).__name__} cannot run chunked over "
+            f"table {table.name!r} (unsupported aggregate, task or column types)"
+        )
+    if instance.chunk_decoder is None:
+        return run_process_generic_aggregate(
+            executor, table, instance, pool=pool,
+            where=where, row_order=row_order, workers=workers, argument=argument,
+        )
     ordinals = resolve_ordinals(table, executor.example_cache, executor.functions, where, row_order)
     if ordinals is None:
         ordinals = np.arange(len(table), dtype=np.intp)
-    workers = max(1, min(pool.workers, ordinals.shape[0]) if ordinals.shape[0] else 1)
+    width = _effective_workers(pool, workers, ordinals.shape[0])
     # One logical scan of the table's data, exactly like the serial paths.
     table.scan_count += 1
     parts = []
-    for worker in range(workers):
+    for part in split_round_robin(ordinals, width):
         # partition_round_robin assignment: ordinal position i -> worker i % w.
         executor._charge_overhead(instance.state_passing_units)
-        parts.append((table, instance, ordinals[worker::workers]))
+        parts.append((table, instance, part))
     states = run_partitioned_uda(pool, parts, executor.example_cache)
-    merged = states[0]
-    for state in states[1:]:
-        merged = instance.merge(merged, state)
-    return instance.terminate(merged)
+    return merge_partial_states(instance, states)
+
+
+#: Sentinel: the chunk-partitioned path could not resolve a chunk plan.
+_NO_CHUNK_PLAN = object()
+
+
+def _effective_workers(pool: ProcessWorkerPool, workers: int | None, items: int) -> int:
+    width = pool.workers if workers is None else min(workers, pool.workers)
+    return max(1, min(width, items) if items else 1)
+
+
+def run_process_chunk_aggregate(
+    executor: "Executor",
+    table: Table,
+    instance: "UserDefinedAggregate",
+    *,
+    pool: ProcessWorkerPool,
+    workers: int | None = None,
+) -> Any:
+    """Chunk-partitioned scalar pass: whole cached chunks fan out to workers.
+
+    The cached columnar chunk list is shipped pickled-once per table version
+    (a separate payload from the decoded example list the gradient pass
+    ships); per-epoch messages carry chunk ordinals only.  Worker ``w`` runs
+    ``transition_chunk`` over chunks ``w::width`` in ascending order and the
+    parent merges the scalar partials left-to-right — bit-for-bit the serial
+    reference runner (:meth:`Executor.run_chunk_partitioned`) on the same
+    width.
+    """
+    plan = executor.chunk_plan(table, instance)
+    if plan is None:
+        return _NO_CHUNK_PLAN
+    batches = plan.batches
+    width = _effective_workers(pool, workers, len(batches))
+    key = batches_payload_key(table, instance.chunk_decoder, executor.chunk_size)
+    pool.ensure_loaded(
+        range(width), key, lambda: batches, pin=instance.chunk_decoder
+    )
+    table.scan_count += 1
+    messages: dict[int, tuple] = {}
+    for worker in range(width):
+        executor._charge_overhead(instance.state_passing_units)
+        messages[worker] = (
+            "chunk_uda", key, instance, np.arange(worker, len(batches), width, dtype=np.intp)
+        )
+    states = pool.run(messages)
+    return merge_partial_states(instance, [states[worker] for worker in sorted(states)])
+
+
+def run_process_generic_aggregate(
+    executor: "Executor",
+    table: Table,
+    instance: "UserDefinedAggregate",
+    *,
+    pool: ProcessWorkerPool,
+    where=None,
+    row_order: Sequence[int] | None = None,
+    workers: int | None = None,
+    argument=None,
+) -> Any:
+    """Generic (non-task) mergeable aggregate over raw row blocks.
+
+    The table's rows are shipped pickled-once per table version; WHERE is
+    resolved parent-side through the cached selection vector, so workers
+    receive plain visit-ordinal arrays plus the argument expression and the
+    scalar UDFs it references (which must be picklable — module-level
+    functions, not lambdas).  Merge is deterministic left-to-right, so for a
+    fixed width the result is bit-for-bit the serial reference runner
+    (:meth:`Executor.run_row_partitioned`).
+    """
+    ordinals = resolve_ordinals(table, executor.example_cache, executor.functions, where, row_order)
+    if ordinals is None:
+        ordinals = np.arange(len(table), dtype=np.intp)
+    width = _effective_workers(pool, workers, ordinals.shape[0])
+    functions: dict[str, Callable] = {}
+    if argument is not None:
+        for name in sorted(argument.referenced_functions()):
+            if name in executor.functions:
+                functions[name] = executor.functions[name]
+    key = rows_payload_key(table)
+    pool.ensure_loaded(range(width), key, table.to_rows, pin=table)
+    table.scan_count += 1
+    messages: dict[int, tuple] = {}
+    for worker, part in enumerate(split_round_robin(ordinals, width)):
+        executor._charge_overhead(instance.state_passing_units)
+        messages[worker] = ("generic_uda", key, instance, argument, part, functions)
+    states = pool.run(messages)
+    return merge_partial_states(instance, [states[worker] for worker in sorted(states)])
 
 
 # ---------------------------------------------------------------------------

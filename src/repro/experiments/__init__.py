@@ -11,6 +11,7 @@ from .datasets_table import DatasetsTableResult, build_benchmark_datasets, run_d
 from .harness import (
     ExperimentScale,
     epochs_to_tolerance,
+    evaluate_model,
     overhead_percent,
     resolve_scale,
     time_callable,
@@ -33,8 +34,10 @@ from .overhead import OverheadRow, OverheadTableResult, run_overhead_table
 from .parallelism import (
     ParallelConvergenceResult,
     SpeedupResult,
+    WholeLoopResult,
     run_parallel_convergence,
     run_speedup_experiment,
+    run_whole_loop_experiment,
 )
 from .reporting import render_series, render_table
 from .scalability import ScalabilityResult, ScalabilityRow, run_scalability_experiment
@@ -55,8 +58,10 @@ __all__ = [
     "ScalabilityResult",
     "ScalabilityRow",
     "SpeedupResult",
+    "WholeLoopResult",
     "build_benchmark_datasets",
     "epochs_to_tolerance",
+    "evaluate_model",
     "overhead_percent",
     "render_series",
     "render_table",
@@ -72,6 +77,7 @@ __all__ = [
     "run_parallel_convergence",
     "run_scalability_experiment",
     "run_speedup_experiment",
+    "run_whole_loop_experiment",
     "time_callable",
     "time_to_tolerance",
     "tolerance_target",

@@ -18,6 +18,52 @@ import numpy as np
 from ..core.convergence import EpochRecord
 
 
+def evaluate_model(
+    database,
+    table_name: str,
+    task,
+    model,
+    *,
+    kind: str = "loss",
+    workers: int = 1,
+    backend: str = "in_process",
+    execution: str = "auto",
+    include_penalty: bool = False,
+):
+    """Run one evaluation pass (loss or accuracy) through the pass-plan layer.
+
+    This is the harness's counterpart of the driver's objective pass: the
+    model is scored by the same :class:`~repro.core.uda.LossAggregate` /
+    :class:`~repro.core.uda.AccuracyAggregate` UDAs, compiled to a
+    :class:`~repro.db.pass_plan.PassPlan` and executed on the serial backend
+    or — with ``backend="process"`` — fanned out over the engine's forked
+    worker pool, so experiment evaluations scale with the same machinery as
+    training.  ``include_penalty`` adds the task's proximal penalty (the full
+    objective the driver records).
+    """
+    from ..core.uda import AccuracyAggregate, LossAggregate
+    from ..db.parallel import SegmentedDatabase
+    from ..db.pass_plan import ProcessBackend, SerialBackend, compile_pass
+
+    engine = database.master if isinstance(database, SegmentedDatabase) else database
+    if kind == "loss":
+        factory = lambda: LossAggregate(task, model)  # noqa: E731 - tiny closure
+    elif kind == "accuracy":
+        factory = lambda: AccuracyAggregate(task, model)  # noqa: E731 - tiny closure
+    else:
+        raise ValueError(f"unknown evaluation kind {kind!r}; expected 'loss' or 'accuracy'")
+    plan = compile_pass(
+        kind, engine.table(table_name), factory, execution=execution, workers=workers
+    )
+    if backend == "process":
+        value = ProcessBackend(engine).run(plan)
+    else:
+        value = SerialBackend(engine).run(plan)
+    if kind == "loss" and include_penalty:
+        return float(value) + task.proximal.penalty(model)
+    return value
+
+
 @dataclass(frozen=True)
 class ExperimentScale:
     """Knob controlling how large the generated workloads are.

@@ -43,7 +43,7 @@ from ..data import (
 )
 from ..tasks.crf import ConditionalRandomFieldTask
 from ..tasks.logistic_regression import LogisticRegressionTask
-from .harness import ExperimentScale, resolve_scale
+from .harness import ExperimentScale, evaluate_model, resolve_scale
 from .reporting import render_series, render_table
 
 SCHEMES = ("pure_uda", "lock", "aig", "nolock")
@@ -289,18 +289,166 @@ def run_speedup_experiment(
                 parallelism = SharedMemoryParallelism(
                     scheme=scheme, workers=workers, backend="process"
                 )
-            run = train(
-                task,
-                database,
-                "classify_large",
-                config=IGDConfig(
-                    step_size=step_size, max_epochs=epochs, ordering="clustered",
-                    seed=seed, compute_objective=False, parallelism=parallelism,
-                ),
-            )
-            engine = database.master if isinstance(database, SegmentedDatabase) else database
-            engine.close_process_pools()
+            with database:
+                run = train(
+                    task,
+                    database,
+                    "classify_large",
+                    config=IGDConfig(
+                        step_size=step_size, max_epochs=epochs, ordering="clustered",
+                        seed=seed, compute_objective=False, parallelism=parallelism,
+                    ),
+                )
             epoch_seconds = _best_epoch_seconds(run.history)
             result.epoch_seconds[scheme].append(epoch_seconds)
             result.speedups[scheme].append(serial_seconds / epoch_seconds)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Whole-loop parallelisation: gradient + loss passes on the worker pool
+# ---------------------------------------------------------------------------
+@dataclass
+class WholeLoopResult:
+    """End-to-end comparison of whole-loop vs gradient-only parallelisation.
+
+    ``serial`` trains with no parallelism; ``gradient_only`` runs the PR-4
+    shape (process-backed gradient epochs, serial loss passes:
+    ``parallel_evaluation=False``); ``whole_loop`` routes the loss pass
+    through the same worker pool (``parallel_evaluation=True``).  All three
+    compute the objective every epoch, so the loss pass is a real share of
+    the loop — on the CRF workload the forward-algorithm loss costs about as
+    much as the gradient epoch itself, which is exactly the regime where
+    gradient-only parallelism hits Amdahl's wall.  ``steady_seconds``
+    excludes the first epoch (decode + payload shipping, which the per-epoch
+    figures are explicitly not about).
+    """
+
+    workers: int
+    cores: int
+    epochs: int
+    scheme: str = "nolock"
+    dataset: str = "conll_like"
+    total_seconds: dict[str, float] = field(default_factory=dict)
+    steady_seconds: dict[str, float] = field(default_factory=dict)
+    final_objectives: dict[str, float] = field(default_factory=dict)
+    #: Final-model objective re-evaluated through the harness's evaluation
+    #: pass (process-backed for the parallel modes — the same pass-plan
+    #: machinery and worker pool the training loop uses).
+    final_eval: dict[str, float] = field(default_factory=dict)
+
+    def speedup_vs_gradient_only(self) -> float:
+        """Steady-state whole-loop speed-up over the gradient-only shape."""
+        whole = self.steady_seconds["whole_loop"]
+        if whole <= 0:
+            return float("nan")
+        return self.steady_seconds["gradient_only"] / whole
+
+    def render(self) -> str:
+        rows = [
+            (
+                mode,
+                f"{self.total_seconds[mode]:.3f}s",
+                f"{self.steady_seconds[mode]:.3f}s",
+                f"{self.final_objectives[mode]:.4f}",
+                f"{self.final_eval[mode]:.4f}",
+            )
+            for mode in self.total_seconds
+        ]
+        return render_table(
+            ["Mode", "Total", "Steady", "Final objective", "Re-evaluated"],
+            rows,
+            title=(
+                f"Whole-loop parallelisation ({self.scheme} x{self.workers}, "
+                f"{self.cores} cores, {self.epochs} epochs on {self.dataset}; "
+                f"whole-loop vs gradient-only: {self.speedup_vs_gradient_only():.2f}x)"
+            ),
+        )
+
+    def bench_payload(self) -> dict:
+        return {
+            "workers": self.workers,
+            "cores": self.cores,
+            "epochs": self.epochs,
+            "scheme": self.scheme,
+            "dataset": self.dataset,
+            "total_seconds": {k: round(v, 4) for k, v in self.total_seconds.items()},
+            "steady_seconds": {k: round(v, 4) for k, v in self.steady_seconds.items()},
+            "speedup_vs_gradient_only": round(self.speedup_vs_gradient_only(), 3),
+        }
+
+
+def run_whole_loop_experiment(
+    scale: ExperimentScale | str | None = None,
+    *,
+    workers: int | None = None,
+    scheme: str = "nolock",
+    epochs: int = 4,
+    seed: int = 0,
+) -> WholeLoopResult:
+    """Measure what parallelising the loss pass buys on top of the gradient pass.
+
+    Uses the Figure 9A CRF workload, whose per-epoch loss (one forward
+    algorithm per sequence) costs about as much as the gradient pass — so
+    once the gradient epochs run on worker processes, the serial loss pass
+    dominates and gradient-only parallelism stops scaling.  Every run
+    computes the objective after every epoch.  On a single-core host the
+    numbers still record honestly — the ``cores`` field labels them — but
+    only a >= 2-core host can show genuine whole-loop wins.
+    """
+    scale = resolve_scale(scale)
+    cores = available_cores()
+    workers = workers or min(4, max(2, cores))
+    corpus = make_sequences(
+        scale.num_sequences * 2, num_labels=scale.sequence_labels, seed=7
+    )
+    num_sequences = len(corpus.examples)
+    step_size = {"kind": "epoch_decay", "alpha0": 0.2, "decay": 0.9}
+    result = WholeLoopResult(workers=workers, cores=cores, epochs=epochs, scheme=scheme)
+
+    def build() -> Database:
+        database = Database("postgres", seed=seed)
+        load_sequences_table(database, "conll_like", corpus.examples)
+        # Several chunks per worker, so the chunk-partitioned loss pass has
+        # real parallel slack to deal out (the corpus is one chunk at the
+        # default chunk size).
+        database.executor.chunk_size = max(1, num_sequences // (workers * 4))
+        return database
+
+    def make_task() -> ConditionalRandomFieldTask:
+        return ConditionalRandomFieldTask(corpus.num_features, corpus.num_labels)
+
+    configs = {
+        "serial": IGDConfig(
+            step_size=step_size, max_epochs=epochs, ordering="clustered", seed=seed
+        ),
+        "gradient_only": IGDConfig(
+            step_size=step_size, max_epochs=epochs, ordering="clustered", seed=seed,
+            parallelism=SharedMemoryParallelism(scheme=scheme, workers=workers, backend="process"),
+            parallel_evaluation=False,
+        ),
+        "whole_loop": IGDConfig(
+            step_size=step_size, max_epochs=epochs, ordering="clustered", seed=seed,
+            parallelism=SharedMemoryParallelism(scheme=scheme, workers=workers, backend="process"),
+            parallel_evaluation=True,
+        ),
+    }
+    for mode, config in configs.items():
+        task = make_task()
+        with build() as database:
+            run = train(task, database, "conll_like", config=config)
+            result.total_seconds[mode] = run.total_seconds
+            steady = [record.elapsed_seconds for record in run.history[1:]] or [
+                record.elapsed_seconds for record in run.history
+            ]
+            result.steady_seconds[mode] = float(sum(steady))
+            result.final_objectives[mode] = run.final_objective
+            # The final-model evaluation pass rides the same pass-plan
+            # machinery (and, when parallel, the same worker pool) as training.
+            result.final_eval[mode] = evaluate_model(
+                database, "conll_like", task, run.model,
+                kind="loss", include_penalty=True,
+                workers=workers if mode != "serial" else 1,
+                backend="process" if mode != "serial" else "in_process",
+            )
     return result

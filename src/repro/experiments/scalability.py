@@ -37,11 +37,12 @@ from ..data import (
     make_large_sequences,
     make_scalability_classification,
 )
+from ..db.process_backend import available_cores
 from ..tasks.crf import ConditionalRandomFieldTask
 from ..tasks.logistic_regression import LogisticRegressionTask
 from ..tasks.matrix_factorization import LowRankMatrixFactorizationTask
 from ..tasks.svm import SVMTask
-from .harness import ExperimentScale, resolve_scale, tolerance_target
+from .harness import ExperimentScale, evaluate_model, resolve_scale, tolerance_target
 from .reporting import render_table
 
 
@@ -163,9 +164,14 @@ def run_scalability_experiment(
 
     # Batch subgradient SVM: run iterations until the target, the budget, or a
     # hard cap is reached (each "iteration" is one full pass over the data).
+    # The per-iteration objective check is an engine loss *pass* — compiled
+    # through the pass-plan layer and fanned out over the process backend when
+    # the host has the cores for it — not an ad-hoc in-memory sum.
     from ..tasks.base import dot_product, scale_and_add
     import numpy as np
 
+    eval_cores = available_cores()
+    eval_backend = "process" if eval_cores >= 2 else "in_process"
     svm_baseline_task = SVMTask(classify.dimension)
     svm_weights = svm_baseline_task.initial_model()
     alpha = 0.005
@@ -180,7 +186,10 @@ def run_scalability_experiment(
                 scale_and_add(gradient, example.features, -example.label)
         svm_weights["w"][...] -= alpha * gradient
         alpha *= 0.99
-        objective = svm_baseline_task.total_loss(svm_weights, classify.examples)
+        objective = evaluate_model(
+            database, "classify_large", svm_baseline_task, svm_weights,
+            kind="loss", workers=eval_cores, backend=eval_backend,
+        )
         svm_elapsed = time.perf_counter() - start
         if objective <= svm_target:
             svm_completes = True
@@ -276,4 +285,8 @@ def run_scalability_experiment(
     result.rows.append(
         ScalabilityRow("CRF", "in_memory_baseline", crf_elapsed, crf_budget, crf_completes)
     )
+    # Deterministic teardown: reap worker pools and arena segments now, not
+    # at interpreter exit.
+    for engine in (database, mf_db, crf_db):
+        engine.close()
     return result

@@ -244,11 +244,14 @@ class TestSharedMemoryProcessSchemes:
             ),
         )
         pool = database.process_pool(2)
-        # One payload key per (table, version, task) — three epochs with three
-        # distinct logical permutations still shipped exactly one payload per
-        # worker (loss passes run serially and don't touch the pool).
-        assert len({key for (_worker, key) in pool._loaded}) == 1
-        assert len(pool._loaded) == 2
+        # Three epochs with three distinct logical permutations ship exactly
+        # two payloads per worker: the decoded example list for the gradient
+        # epochs and the columnar chunk list for the (now pool-backed) loss
+        # passes — each pickled once per (table, version), never re-shipped.
+        kinds = sorted({key[0] for (_worker, key) in pool._loaded})
+        assert kinds == ["batches", "examples"]
+        assert len({key for (_worker, key) in pool._loaded}) == 2
+        assert len(pool._loaded) <= 4
         database.close_process_pools()
         assert run.epochs_run == 3
 

@@ -79,6 +79,7 @@ def _figures(scale: str) -> dict:
         run_crf_comparison,
         run_data_ordering_experiment,
         run_datasets_table,
+        run_fault_recovery_experiment,
         run_mrs_convergence,
         run_overhead_table,
         run_parallel_convergence,
@@ -99,6 +100,7 @@ def _figures(scale: str) -> dict:
         "fig9a_parallel": lambda: run_parallel_convergence(scale),
         "fig9b_speedup": lambda: run_speedup_experiment(scale),
         "whole_loop_parallel": lambda: run_whole_loop_experiment(scale),
+        "fault_recovery": lambda: run_fault_recovery_experiment(scale),
         "fig10a_mrs": lambda: run_mrs_convergence(scale),
     }
 

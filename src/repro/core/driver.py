@@ -112,10 +112,27 @@ class IGDResult:
     ordering_name: str = ""
     parallelism_name: str = "serial"
     shuffle_seconds: float = 0.0
+    #: Structured RecoveryEvent / DegradationEvent records this run absorbed
+    #: (supervised-pool respawns, backend fallbacks).  Empty for clean runs.
+    recovery_events: list = field(default_factory=list)
 
     @property
     def epochs_run(self) -> int:
         return len(self.history)
+
+    @property
+    def respawn_count(self) -> int:
+        """Worker-respawn recovery rounds absorbed during this run."""
+        return sum(
+            1 for event in self.recovery_events if getattr(event, "respawned", False)
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """True when any pass fell down the backend degradation ladder."""
+        return any(
+            hasattr(event, "to_backend") for event in self.recovery_events
+        )
 
     @property
     def final_objective(self) -> float:
@@ -174,6 +191,10 @@ class BismarckRunner:
 
         table = self._master_table(table_name)
         total_start = time.perf_counter()
+        # Snapshot the engine's recovery log so the result reports exactly the
+        # incidents (respawns, degradations) absorbed by *this* run.
+        engine = self._engine()
+        recovery_mark = len(getattr(engine, "recovery_log", []))
 
         version_before = table.version
         ordering.prepare(table, rng)
@@ -221,13 +242,19 @@ class BismarckRunner:
             ordering_name=ordering.describe(),
             parallelism_name=self._parallelism_name(),
             shuffle_seconds=ordering.shuffle_seconds,
+            recovery_events=list(
+                getattr(engine, "recovery_log", [])[recovery_mark:]
+            ),
         )
 
     # -------------------------------------------------------------- internals
-    def _master_table(self, table_name: str) -> Table:
+    def _engine(self) -> Database:
         if isinstance(self.database, SegmentedDatabase):
-            return self.database.master.table(table_name)
-        return self.database.table(table_name)
+            return self.database.master
+        return self.database
+
+    def _master_table(self, table_name: str) -> Table:
+        return self._engine().table(table_name)
 
     def _maybe_redistribute(self, table_name: str, version_before: int) -> None:
         """Re-partition segments after the ordering policy touched the heap.

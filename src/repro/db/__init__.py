@@ -39,6 +39,14 @@ from .errors import (
     UnknownColumnError,
     UnknownFunctionError,
     UnknownTableError,
+    WorkerDiedError,
+)
+from .fault import (
+    COMPUTE_OPS,
+    FaultInjected,
+    FaultPlan,
+    faults_from_env,
+    parse_fault_spec,
 )
 from .chunk_plan import ChunkPlan, partition_round_robin, resolve_ordinals, split_round_robin
 from .executor import QueryResult
@@ -61,6 +69,12 @@ from .process_backend import (
     available_cores,
     default_process_workers,
     run_process_shared_memory_epoch,
+)
+from .supervisor import (
+    DegradationEvent,
+    RecoveryEvent,
+    RecoveryPolicy,
+    SupervisedWorkerPool,
 )
 from .shared_memory import (
     SHARED_MEMORY_SCHEMES,
@@ -89,15 +103,19 @@ __all__ = [
     "evaluation_backend",
     "resolve_ordinals",
     "split_round_robin",
+    "COMPUTE_OPS",
     "Column",
     "ColumnType",
     "DBMS_A",
+    "DegradationEvent",
     "DBMS_B",
     "Database",
     "DatabaseError",
     "DuplicateTableError",
     "EnginePersonality",
     "ExecutionError",
+    "FaultInjected",
+    "FaultPlan",
     "FunctionalAggregate",
     "NullAggregate",
     "PERSONALITIES",
@@ -106,6 +124,8 @@ __all__ = [
     "ParseError",
     "ProcessWorkerPool",
     "QueryResult",
+    "RecoveryEvent",
+    "RecoveryPolicy",
     "Row",
     "SHARED_MEMORY_SCHEMES",
     "Schema",
@@ -115,14 +135,18 @@ __all__ = [
     "SharedMemoryError",
     "SharedMemoryParallelism",
     "SharedSegment",
+    "SupervisedWorkerPool",
     "Table",
     "TypeMismatchError",
     "UnknownColumnError",
     "UnknownFunctionError",
     "UnknownTableError",
+    "WorkerDiedError",
     "available_cores",
     "connect",
     "default_process_workers",
+    "faults_from_env",
+    "parse_fault_spec",
     "partition_round_robin",
     "run_process_shared_memory_epoch",
     "run_shared_memory_epoch",

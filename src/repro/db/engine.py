@@ -73,6 +73,8 @@ class Database:
         personality: EnginePersonality | str = POSTGRES,
         *,
         seed: int | None = None,
+        recovery: "object | None" = None,
+        faults: "Sequence | None" = None,
     ):
         if isinstance(personality, str):
             try:
@@ -87,6 +89,19 @@ class Database:
         #: Process-backend worker pools, keyed by worker count and reused
         #: across epochs/runs so an epoch costs messages, not process spawns.
         self._process_pools: dict[int, "object"] = {}
+        #: Recovery policy for supervised pools (None → RecoveryPolicy.from_env()
+        #: at pool creation) and fault plans for the injection harness (None →
+        #: read REPRO_FAULT at pool creation).
+        self.recovery_policy = recovery
+        self.fault_plans = faults
+        #: Structured RecoveryEvent / DegradationEvent log, appended to by
+        #: supervised pools and the degradation ladder.  The driver snapshots
+        #: it around a training run to report what a run absorbed.
+        self.recovery_log: list = []
+        #: Sticky flag: once the respawn budget is exhausted, process-backed
+        #: plans skip straight to their fallback instead of rebuilding (and
+        #: re-losing) a pool every epoch.  Cleared by :meth:`reset_degradation`.
+        self.process_degraded = False
         self.rng = np.random.default_rng(seed)
         self.executor = Executor(
             self.aggregates,
@@ -95,6 +110,7 @@ class Database:
             model_passing_overhead=personality.model_passing_cost,
             rng=self.rng,
         )
+        self.executor.on_degradation = self.record_recovery_event
 
     # ----------------------------------------------------------------- DDL/DML
     def create_table(
@@ -199,15 +215,39 @@ class Database:
 
         Pools are created lazily, cached by worker count and kept alive for
         reuse across epochs and training runs; :meth:`close_process_pools`
-        (or interpreter exit) reaps them.
+        (or interpreter exit) reaps them.  Engine-created pools are
+        *supervised*: pipe reads are deadline-bounded per the engine's
+        recovery policy, dead/hung workers are respawned with their payloads
+        replayed, and recovery incidents land in :attr:`recovery_log`.
         """
-        from .process_backend import ProcessWorkerPool
+        from .supervisor import SupervisedWorkerPool
 
         pool = self._process_pools.get(workers)
         if pool is None or pool._closed:
-            pool = ProcessWorkerPool(workers)
+            pool = SupervisedWorkerPool(
+                workers,
+                policy=self.recovery_policy,
+                faults=self.fault_plans,
+                on_event=self.record_recovery_event,
+            )
             self._process_pools[workers] = pool
         return pool
+
+    def record_recovery_event(self, event) -> None:
+        """Append a RecoveryEvent / DegradationEvent to the engine log."""
+        self.recovery_log.append(event)
+
+    def recovery_events(self) -> list:
+        """Copy of the structured recovery/degradation log."""
+        return list(self.recovery_log)
+
+    def mark_process_degraded(self) -> None:
+        """Route subsequent process-backed plans straight to their fallback."""
+        self.process_degraded = True
+
+    def reset_degradation(self) -> None:
+        """Clear the sticky degradation flag (fresh pools may be built again)."""
+        self.process_degraded = False
 
     def close_process_pools(self) -> None:
         """Stop and reap every process-backend worker pool.  Idempotent."""

@@ -30,6 +30,29 @@ class ExecutionError(DatabaseError):
     """A statement parsed correctly but failed during execution."""
 
 
+class WorkerDiedError(ExecutionError):
+    """A process-backend worker died or hung mid-command.
+
+    Distinct from a plain :class:`ExecutionError` (a user-code failure
+    forwarded over a healthy pipe): worker death breaks the one-send/one-recv
+    pipe invariant, so the pass that was in flight is lost and must be retried
+    or degraded.  ``recoverable`` is True when a supervising pool already
+    respawned the dead workers (the caller may simply re-run the pass) and
+    False when the respawn budget is exhausted and the pool closed itself.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        recoverable: bool = False,
+        workers: tuple[int, ...] = (),
+    ):
+        super().__init__(message)
+        self.recoverable = recoverable
+        self.workers = tuple(workers)
+
+
 class CatalogError(DatabaseError):
     """Base class for catalog lookup failures."""
 

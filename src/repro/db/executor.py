@@ -101,6 +101,10 @@ class Executor:
         #: must be serialised across the engine's function-call boundary; the
         #: charge is scaled by the aggregate's ``state_passing_units``.
         self.model_passing_overhead = model_passing_overhead
+        #: Optional sink for DegradationEvent records emitted when a
+        #: process-backed pass falls back in-process (the owning Database
+        #: points this at its recovery log).
+        self.on_degradation: Callable | None = None
         self.rng = rng or np.random.default_rng()
 
     # ---------------------------------------------------------------- SELECT
@@ -442,16 +446,53 @@ class Executor:
                 run_process_aggregate,
             )
 
-            if process_pool is not None:
-                return run_process_aggregate(
-                    self, table, instance, pool=process_pool,
-                    where=where, row_order=row_order,
-                    workers=process_workers, argument=argument, execution=execution,
-                )
-            with ProcessWorkerPool(default_process_workers()) as pool:
-                return run_process_aggregate(
-                    self, table, instance, pool=pool, where=where, row_order=row_order,
-                    workers=process_workers, argument=argument, execution=execution,
+            from .errors import WorkerDiedError
+
+            try:
+                if process_pool is not None:
+                    # Retry recoverable worker deaths: a supervised pool has
+                    # already respawned the casualties and replayed payloads,
+                    # so re-running the (deterministic, mergeable) pass is
+                    # both safe and bit-for-bit.  Non-recoverable errors fall
+                    # through to the in-process ladder below.
+                    while True:
+                        try:
+                            return run_process_aggregate(
+                                self, table, instance, pool=process_pool,
+                                where=where, row_order=row_order,
+                                workers=process_workers, argument=argument,
+                                execution=execution,
+                            )
+                        except WorkerDiedError as error:
+                            if not error.recoverable:
+                                raise
+                else:
+                    with ProcessWorkerPool(default_process_workers()) as pool:
+                        return run_process_aggregate(
+                            self, table, instance, pool=pool,
+                            where=where, row_order=row_order,
+                            workers=process_workers, argument=argument,
+                            execution=execution,
+                        )
+            except WorkerDiedError as error:
+                # Degrade to the in-process path rather than failing the
+                # query: the pass is mergeable and deterministic, so the
+                # serial result is the same value the pool would have
+                # produced.  Structured event instead of an exception.
+                if self.on_degradation is not None:
+                    from .supervisor import DegradationEvent
+
+                    self.on_degradation(
+                        DegradationEvent(
+                            plan_kind="aggregate",
+                            from_backend="process",
+                            to_backend="in_process",
+                            reason=str(error),
+                        )
+                    )
+                return self.run_aggregate(
+                    table, instance, argument, where=where, row_order=row_order,
+                    execution=execution, backend="in_process",
                 )
         if execution != "per_tuple":
             if instance.supports_chunks:

@@ -1,0 +1,221 @@
+"""Deterministic fault injection for the process backend.
+
+A long-running multi-process deployment sees workers segfault, hang on a bad
+page, or raise out of user code — and a supervision layer is only as good as
+the failures it has actually been exercised against.  This module provides a
+small, fully deterministic harness: a :class:`FaultPlan` names *which worker*
+misbehaves, *how*, and *on which compute command*, and the worker-side
+:class:`FaultInjector` fires each plan exactly once.
+
+Activation:
+
+* programmatically — pass ``FaultPlan`` objects to
+  :class:`~repro.db.supervisor.SupervisedWorkerPool` (or
+  ``Database(faults=...)``), or
+* via the environment — ``REPRO_FAULT=<spec>`` is parsed by supervised pools
+  at construction, which is how the CI chaos job injects failures under the
+  whole backend suite without touching a line of test code.
+
+Spec grammar (one or more clauses joined by ``;``)::
+
+    spec    := clause (";" clause)*
+    clause  := action (":" key "=" value)*
+    action  := "kill" | "hang" | "poison"
+    key     := "worker" | "epoch" | "op" | "seconds"
+
+``worker`` is the target worker index (default 0).  ``epoch`` is the 0-based
+ordinal of the matching compute command seen by that worker — *not* wall
+clock — which is what makes injection deterministic and replayable.  ``op``
+optionally restricts matching to one worker op (``shmem_epoch``,
+``uda_state``, ``chunk_uda``, ``generic_uda``); without it any compute
+command counts.  ``seconds`` bounds a ``hang`` (default one hour — far past
+any sane :class:`~repro.db.supervisor.RecoveryPolicy` deadline).
+
+Examples::
+
+    REPRO_FAULT="kill:worker=1:epoch=0"
+    REPRO_FAULT="hang:worker=0:epoch=1:seconds=3600"
+    REPRO_FAULT="kill:worker=1:epoch=0:op=shmem_epoch;poison:worker=0:epoch=2"
+
+Actions:
+
+* ``kill`` — the worker calls ``os._exit`` before running the command: the
+  parent sees the pipe close mid-command (exactly like a segfault).
+* ``hang`` — the worker sleeps without replying: the parent's deadline-bounded
+  ``poll`` expires and the supervisor terminates it (exactly like a livelock).
+* ``poison`` — the worker raises :class:`FaultInjected` out of the command:
+  the error travels back over a *healthy* pipe, so it exercises the user-code
+  failure path (plain ``ExecutionError``, no respawn) rather than recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from .errors import ExecutionError
+
+FAULT_ACTIONS = ("kill", "hang", "poison")
+
+#: Worker ops that count as compute commands for fault matching.  Control
+#: traffic ("ping", "load", "drop", "stop") never triggers a fault: faults
+#: target the *pass* being executed, not the payload plumbing around it.
+COMPUTE_OPS = ("uda_state", "chunk_uda", "generic_uda", "shmem_epoch")
+
+#: Environment variable carrying a fault spec for supervised pools.
+FAULT_ENV_VAR = "REPRO_FAULT"
+
+#: Exit code used by injected kills, so a post-mortem can tell an injected
+#: death from a real crash in the worker logs.
+KILL_EXIT_CODE = 170
+
+
+class FaultInjected(RuntimeError):
+    """Raised inside a worker by a ``poison`` fault plan."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault: *this worker*, *this action*, *this command*.
+
+    ``epoch`` counts matching compute commands seen by the target worker
+    (0-based); with ``op`` set only commands of that op count.  Each plan
+    fires at most once.
+    """
+
+    action: str
+    worker: int = 0
+    epoch: int = 0
+    op: str | None = None
+    seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ExecutionError(
+                f"unknown fault action {self.action!r}; expected one of {FAULT_ACTIONS}"
+            )
+        if self.worker < 0:
+            raise ExecutionError("fault worker index must be >= 0")
+        if self.epoch < 0:
+            raise ExecutionError("fault epoch must be >= 0")
+        if self.op is not None and self.op not in COMPUTE_OPS:
+            raise ExecutionError(
+                f"unknown fault op {self.op!r}; expected one of {COMPUTE_OPS}"
+            )
+        if self.seconds <= 0:
+            raise ExecutionError("fault seconds must be positive")
+
+    def spec(self) -> str:
+        """Render this plan back into the ``REPRO_FAULT`` grammar."""
+        parts = [self.action, f"worker={self.worker}", f"epoch={self.epoch}"]
+        if self.op is not None:
+            parts.append(f"op={self.op}")
+        if self.action == "hang" and self.seconds != 3600.0:
+            parts.append(f"seconds={self.seconds:g}")
+        return ":".join(parts)
+
+
+def parse_fault_spec(text: str) -> tuple[FaultPlan, ...]:
+    """Parse a ``REPRO_FAULT`` spec string into fault plans.
+
+    See the module docstring for the grammar.  An empty/whitespace spec parses
+    to no plans; malformed clauses raise :class:`ExecutionError` with the
+    offending clause named, so a typo'd CI spec fails loudly instead of
+    silently injecting nothing.
+    """
+    plans: list[FaultPlan] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        action, _, rest = clause.partition(":")
+        action = action.strip().lower()
+        kwargs: dict = {}
+        if rest:
+            for pair in rest.split(":"):
+                key, sep, value = pair.partition("=")
+                key = key.strip().lower()
+                if not sep or not value.strip():
+                    raise ExecutionError(
+                        f"malformed fault clause {clause!r}: expected key=value, got {pair!r}"
+                    )
+                value = value.strip()
+                if key in ("worker", "epoch"):
+                    kwargs[key] = int(value)
+                elif key == "seconds":
+                    kwargs[key] = float(value)
+                elif key == "op":
+                    kwargs[key] = value
+                else:
+                    raise ExecutionError(
+                        f"malformed fault clause {clause!r}: unknown key {key!r}"
+                    )
+        try:
+            plans.append(FaultPlan(action=action, **kwargs))
+        except (TypeError, ValueError) as error:
+            raise ExecutionError(f"malformed fault clause {clause!r}: {error}") from error
+    return tuple(plans)
+
+
+def faults_from_env(environ=None) -> tuple[FaultPlan, ...]:
+    """Fault plans requested through ``REPRO_FAULT`` (empty when unset)."""
+    environ = os.environ if environ is None else environ
+    spec = environ.get(FAULT_ENV_VAR, "")
+    if not spec.strip():
+        return ()
+    return parse_fault_spec(spec)
+
+
+@dataclass
+class FaultInjector:
+    """Worker-side fault trigger: counts compute commands, fires plans once.
+
+    Lives inside the worker loop; ``before(op)`` is called with every compute
+    command *before* it runs.  The per-op and total counters make matching
+    deterministic regardless of how the parent interleaves passes, and each
+    plan is removed once fired, so a respawned worker (which starts with a
+    fresh injector holding the original plans) re-arms only if the parent
+    ships the plans again — which the supervised pool deliberately does not,
+    preventing an injected fault from starving its own recovery.
+    """
+
+    plans: tuple[FaultPlan, ...] = ()
+    worker: int = 0
+    _pending: list = field(default_factory=list)
+    _seen_total: int = 0
+    _seen_by_op: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._pending = [plan for plan in self.plans if plan.worker == self.worker]
+
+    def before(self, op: str) -> None:
+        """Maybe fire a fault for this compute command.  May not return."""
+        if op not in COMPUTE_OPS or not self._pending:
+            self._bump(op)
+            return
+        fired = None
+        for plan in self._pending:
+            count = (
+                self._seen_by_op.get(plan.op, 0) if plan.op is not None else self._seen_total
+            )
+            if (plan.op is None or plan.op == op) and count == plan.epoch:
+                fired = plan
+                break
+        self._bump(op)
+        if fired is None:
+            return
+        self._pending.remove(fired)
+        if fired.action == "kill":
+            os._exit(KILL_EXIT_CODE)  # the pipe closes mid-command, like a segfault
+        elif fired.action == "hang":
+            time.sleep(fired.seconds)  # the parent's poll deadline expires
+        else:  # poison — travels back over a healthy pipe as a user-code error
+            raise FaultInjected(
+                f"injected poison fault on worker {self.worker} ({fired.spec()})"
+            )
+
+    def _bump(self, op: str) -> None:
+        if op in COMPUTE_OPS:
+            self._seen_total += 1
+            self._seen_by_op[op] = self._seen_by_op.get(op, 0) + 1

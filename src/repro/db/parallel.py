@@ -55,8 +55,10 @@ class SegmentedDatabase:
         personality: EnginePersonality | str = DBMS_B,
         *,
         seed: int | None = None,
+        recovery: "object | None" = None,
+        faults: "Sequence | None" = None,
     ):
-        self.master = Database(personality, seed=seed)
+        self.master = Database(personality, seed=seed, recovery=recovery, faults=faults)
         if num_segments is not None and num_segments <= 0:
             raise ExecutionError("num_segments must be positive")
         segments = num_segments if num_segments is not None else self.master.personality.default_segments

@@ -41,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
-from .errors import ExecutionError
+from .errors import ExecutionError, WorkerDiedError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.model import Model
@@ -309,8 +309,45 @@ class SegmentedBackend(ExecutionBackend):
         self.process = process
 
     def run(self, plan: PassPlan) -> Any:
+        """Run the plan; process-backed segment runs retry and degrade.
+
+        Pure-UDA segment passes are deterministic (shared-nothing partitions,
+        left-to-right merge), so after a supervised pool respawns its
+        casualties the pass simply re-runs bit-for-bit; once the respawn
+        budget is exhausted, the run degrades to the in-process segmented
+        engine — the same partitions on one core — with a DegradationEvent.
+        """
+        if not self.process:
+            return self._run(plan, "in_process")
+        engine = _engine_of(self.database)
+        if getattr(engine, "process_degraded", False):
+            return self._degrade(
+                plan, reason="process backend degraded earlier in this run"
+            )
+        while True:
+            try:
+                return self._run(plan, "process")
+            except WorkerDiedError as error:
+                if error.recoverable:
+                    continue
+                engine.mark_process_degraded()
+                return self._degrade(plan, reason=str(error))
+
+    def _degrade(self, plan: PassPlan, *, reason: str) -> Any:
+        from .supervisor import DegradationEvent
+
+        _engine_of(self.database).record_recovery_event(
+            DegradationEvent(
+                plan_kind=plan.kind,
+                from_backend="segmented_process",
+                to_backend="segmented",
+                reason=reason,
+            )
+        )
+        return self._run(plan, "in_process")
+
+    def _run(self, plan: PassPlan, backend: str) -> Any:
         plan.check_version()
-        backend = "process" if self.process else "in_process"
         if plan.kind == "train":
             context = plan.train
             outcome = self.database.run_parallel_aggregate(
@@ -341,6 +378,23 @@ class ProcessBackend(ExecutionBackend):
     partition strategy the plan's merge contract picks (chunks, examples or
     raw rows) and merges partials left-to-right — bit-for-bit the
     :class:`SerialBackend` reference of the same plan.
+
+    Self-healing: the engine's pools are supervised, so worker death or a
+    blown reply deadline surfaces as a *recoverable*
+    :class:`~repro.db.errors.WorkerDiedError` after the pool respawned the
+    casualties — this backend then retries the pass.  Retry semantics follow
+    the plan's determinism contract: mergeable aggregate passes re-run
+    bit-for-bit (nothing was mutated — the aborted partials were discarded),
+    while racy shared-memory train epochs restore the model from a snapshot
+    taken at epoch start, so a retried epoch never trains on the half-written
+    model the failed attempt raced on.  When the respawn budget is exhausted
+    (``recoverable=False``) the pass walks the degradation ladder — train
+    plans fall back to the cooperative shared-memory backend, then serial;
+    evaluation plans fall straight to serial — emitting a structured
+    :class:`~repro.db.supervisor.DegradationEvent` instead of raising, and
+    the engine's sticky ``process_degraded`` flag routes every later plan of
+    the run down the ladder immediately rather than rebuilding (and
+    re-losing) a pool each epoch.
     """
 
     name = "process"
@@ -355,6 +409,32 @@ class ProcessBackend(ExecutionBackend):
                 "the process backend serves passes from the cached chunk "
                 "plane and cannot replay the per-tuple engine protocol"
             )
+        if getattr(self.engine, "process_degraded", False):
+            return self._degrade(
+                plan, reason="process backend degraded earlier in this run"
+            )
+        snapshot = None
+        if plan.kind == "train":
+            # Racy shared-memory epochs mutate the mmap'd model in place; a
+            # retried epoch must start from the epoch-start model, not from
+            # whatever the aborted attempt half-wrote.
+            snapshot = plan.train.model.as_flat_vector()
+        while True:
+            try:
+                return self._execute(plan)
+            except WorkerDiedError as error:
+                # The aborted epoch's scratch segment is freed by the runner's
+                # finally, but sweep defensively: a retry re-allocates under
+                # the same logical name and must find it free.
+                self.engine.shared_memory.sweep_orphans()
+                if snapshot is not None:
+                    plan.train.model.load_flat_vector(snapshot)
+                if error.recoverable:
+                    continue  # the pool healed itself; re-run the pass
+                self.engine.mark_process_degraded()
+                return self._degrade(plan, reason=str(error))
+
+    def _execute(self, plan: PassPlan) -> Any:
         executor = self.engine.executor
         if plan.kind == "train":
             from .process_backend import run_process_shared_memory_epoch
@@ -395,6 +475,42 @@ class ProcessBackend(ExecutionBackend):
             argument=plan.argument,
             execution=plan.execution,
         )
+
+    def _degrade(self, plan: PassPlan, *, reason: str) -> Any:
+        """Walk the ladder: train → shared_memory → serial; else → serial."""
+        from .supervisor import DegradationEvent
+
+        engine = self.engine
+        if plan.kind == "train":
+            engine.record_recovery_event(
+                DegradationEvent(
+                    plan_kind=plan.kind,
+                    from_backend="process",
+                    to_backend="shared_memory",
+                    reason=reason,
+                )
+            )
+            try:
+                return SharedMemoryBackend(engine).run(plan)
+            except ExecutionError as error:
+                engine.record_recovery_event(
+                    DegradationEvent(
+                        plan_kind=plan.kind,
+                        from_backend="shared_memory",
+                        to_backend="serial",
+                        reason=str(error),
+                    )
+                )
+                return SerialBackend(engine).run(plan)
+        engine.record_recovery_event(
+            DegradationEvent(
+                plan_kind=plan.kind,
+                from_backend="process",
+                to_backend="serial",
+                reason=reason,
+            )
+        )
+        return SerialBackend(engine).run(plan)
 
 
 # ---------------------------------------------------------------------------

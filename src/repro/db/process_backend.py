@@ -51,7 +51,8 @@ import numpy as np
 
 from .aggregates import merge_partial_states
 from .chunk_plan import resolve_ordinals, split_round_robin
-from .errors import ExecutionError
+from .errors import ExecutionError, WorkerDiedError
+from .fault import FaultInjector, FaultPlan
 from .shared_memory import (
     SharedMemoryArena,
     SharedMemoryParallelism,
@@ -213,9 +214,12 @@ def _run_generic_uda_state(payloads: dict, msg: tuple) -> Any:
     return state
 
 
-def _worker_main(conn, lock) -> None:
+def _worker_main(
+    conn, lock, worker_index: int = 0, faults: "tuple[FaultPlan, ...]" = ()
+) -> None:
     """Long-lived worker loop: cache payloads, run epochs, return states."""
     payloads: dict = {}
+    injector = FaultInjector(plans=faults, worker=worker_index) if faults else None
     while True:
         try:
             msg = conn.recv()
@@ -223,6 +227,8 @@ def _worker_main(conn, lock) -> None:
             break
         op = msg[0]
         try:
+            if injector is not None:
+                injector.before(op)
             if op == "stop":
                 conn.send(("ok", None))
                 break
@@ -269,19 +275,29 @@ class ProcessWorkerPool:
     interpreter exit; :meth:`close` is idempotent.
     """
 
-    def __init__(self, workers: int):
+    #: Per-worker deadline for the close() drain: a hung worker gets this
+    #: long to acknowledge "stop" before being abandoned to terminate().
+    drain_timeout = 2.0
+
+    def __init__(self, workers: int, *, faults: "tuple[FaultPlan, ...]" = ()):
         if workers <= 0:
             raise ExecutionError("process pool needs at least one worker")
         self.workers = workers
-        ctx = fork_context()
+        self._ctx = fork_context()
+        self._faults = tuple(faults)
         #: Publication lock shared by every worker (inherited through fork).
-        self.lock = ctx.Lock()
+        self.lock = self._ctx.Lock()
         self._conns = []
         self._procs = []
         self._closed = False
         self._loaded: set[tuple[int, tuple]] = set()
         #: Pins id()-keyed payload keys' objects for the pool's lifetime.
         self._pins: dict[tuple, Any] = {}
+        #: Pickled payload bytes by key, kept so a respawned worker can be
+        #: replayed its payloads without re-building or re-pickling them.
+        self._payload_bytes: dict[tuple, bytes] = {}
+        #: Op currently awaiting a reply, per worker (empty when quiescent).
+        self._inflight: dict[int, str] = {}
         # Start the shared-memory resource tracker *before* forking: workers
         # then inherit it, so their attachments register with the parent's
         # tracker (a set-level no-op) instead of each spawning a private
@@ -292,16 +308,29 @@ class ProcessWorkerPool:
             resource_tracker.ensure_running()
         except Exception:
             pass
-        for _ in range(workers):
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=_worker_main, args=(child_conn, self.lock), daemon=True
-            )
-            process.start()
-            child_conn.close()
+        for index in range(workers):
+            parent_conn, process = self._spawn_worker(index)
             self._conns.append(parent_conn)
             self._procs.append(process)
         _LIVE_POOLS.add(self)
+
+    def _spawn_worker(self, index: int, *, faults: "tuple[FaultPlan, ...] | None" = None):
+        """Fork one worker inheriting the current lock; returns (conn, proc).
+
+        ``faults`` defaults to the pool's configured plans; a supervisor
+        respawning a dead worker passes ``()`` so an injected fault cannot
+        starve its own recovery.
+        """
+        faults = self._faults if faults is None else faults
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.lock, index, faults),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return parent_conn, process
 
     # ------------------------------------------------------------- messaging
     def _gather(self, workers: Sequence[int]) -> dict[int, Any]:
@@ -316,22 +345,29 @@ class ProcessWorkerPool:
         """
         replies: dict[int, Any] = {}
         failures: list[str] = []
-        worker_died = False
+        dead: list[int] = []
         for worker in workers:
             try:
                 status, value = self._conns[worker].recv()
             except (EOFError, OSError):
-                worker_died = True
+                dead.append(worker)
                 failures.append(
                     f"worker {worker} died (exit code {self._procs[worker].exitcode})"
                 )
                 continue
+            finally:
+                self._inflight.pop(worker, None)
             if status != "ok":
                 failures.append(f"worker {worker} failed:\n{value}")
                 continue
             replies[worker] = value
-        if worker_died:
+        if dead:
             self.close()
+            raise WorkerDiedError(
+                "process-backend " + "; ".join(failures),
+                recoverable=False,
+                workers=tuple(dead),
+            )
         if failures:
             raise ExecutionError("process-backend " + "; ".join(failures))
         return replies
@@ -358,6 +394,7 @@ class ProcessWorkerPool:
                     "pool must be module-level (no lambdas or closures)"
                 ) from error
         for worker, payload in encoded.items():
+            self._inflight[worker] = messages[worker][0]
             self._conns[worker].send_bytes(payload)
         return self._gather(list(messages))
 
@@ -382,10 +419,14 @@ class ProcessWorkerPool:
         missing = [w for w in worker_ids if (w, key) not in self._loaded]
         if not missing:
             return
-        payload_bytes = pickle.dumps(build(), protocol=pickle.HIGHEST_PROTOCOL)
+        payload_bytes = self._payload_bytes.get(key)
+        if payload_bytes is None:
+            payload_bytes = pickle.dumps(build(), protocol=pickle.HIGHEST_PROTOCOL)
+            self._payload_bytes[key] = payload_bytes
         if pin is not None:
             self._pins[key] = pin
         for worker in missing:
+            self._inflight[worker] = "load"
             self._conns[worker].send(("load", key, payload_bytes))
         self._gather(missing)
         self._loaded.update((worker, key) for worker in missing)
@@ -398,10 +439,24 @@ class ProcessWorkerPool:
         self.close()
 
     def close(self) -> None:
-        """Stop the workers and reap the processes.  Idempotent."""
+        """Stop the workers and reap the processes.  Idempotent.
+
+        State registries are cleared *first*: close() can be triggered from
+        inside ``_gather`` (a worker died mid-command), and the raised
+        :class:`WorkerDiedError` may be caught by a caller that then inspects
+        the pool — it must see the pool as empty, not as still holding
+        payloads on workers that no longer exist.  The drain is
+        deadline-bounded (:attr:`drain_timeout` per worker): a hung worker
+        never acknowledges "stop", and an unbounded ``recv()`` here would turn
+        one stuck worker into a stuck parent.
+        """
         if self._closed:
             return
         self._closed = True
+        self._pins.clear()
+        self._loaded.clear()
+        self._payload_bytes.clear()
+        self._inflight.clear()
         for conn in self._conns:
             try:
                 conn.send(("stop",))
@@ -409,7 +464,8 @@ class ProcessWorkerPool:
                 pass
         for conn in self._conns:
             try:
-                conn.recv()
+                if conn.poll(self.drain_timeout):
+                    conn.recv()
             except (EOFError, OSError):  # pragma: no cover - worker died
                 pass
             conn.close()
@@ -418,8 +474,6 @@ class ProcessWorkerPool:
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
                 process.join(timeout=1.0)
-        self._pins.clear()
-        self._loaded.clear()
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "live"

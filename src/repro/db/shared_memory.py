@@ -269,6 +269,23 @@ class SharedMemoryArena:
         for name in list(self._segments):
             self.free(name)
 
+    def sweep_orphans(self, prefix: str = "bismarck_model") -> list[str]:
+        """Free every registered segment whose name starts with ``prefix``.
+
+        Epoch-scratch segments (the ``"bismarck_model"`` family) live for
+        exactly one pass: each runner allocates in a ``try`` and frees in its
+        ``finally``.  Any such segment still registered when a *recovery*
+        path runs is therefore an orphan of an aborted epoch — freeing it
+        unlinks the ``/dev/shm`` block before the retry re-allocates under
+        the same logical name (which would otherwise fail the
+        already-exists check).  Returns the freed names, for the recovery
+        log.
+        """
+        orphans = [name for name in self._segments if name.startswith(prefix)]
+        for name in orphans:
+            self.free(name)
+        return orphans
+
     def names(self) -> list[str]:
         return sorted(self._segments)
 

@@ -30,6 +30,7 @@ from .ordering import (
     run_catx_experiment,
     run_data_ordering_experiment,
 )
+from .fault_tolerance import FaultRecoveryResult, run_fault_recovery_experiment
 from .overhead import OverheadRow, OverheadTableResult, run_overhead_table
 from .parallelism import (
     ParallelConvergenceResult,
@@ -51,6 +52,7 @@ __all__ = [
     "DataOrderingResult",
     "DatasetsTableResult",
     "ExperimentScale",
+    "FaultRecoveryResult",
     "MRSConvergenceResult",
     "OverheadRow",
     "OverheadTableResult",
@@ -71,6 +73,7 @@ __all__ = [
     "run_catx_experiment",
     "run_crf_comparison",
     "run_data_ordering_experiment",
+    "run_fault_recovery_experiment",
     "run_datasets_table",
     "run_mrs_convergence",
     "run_overhead_table",

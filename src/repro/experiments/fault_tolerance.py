@@ -1,0 +1,162 @@
+"""Fault-recovery overhead: what a killed worker costs a training run.
+
+The supervision layer (:mod:`repro.db.supervisor`) turns worker death from
+run-fatal into a recovered event; this experiment measures the price.  It
+trains the same pure-UDA process-backed run twice — once clean, once with the
+fault-injection harness killing a worker in the middle of a chosen epoch —
+and reports the clean-epoch vs killed-epoch wall-clock, the respawn count,
+and whether the recovered run's final model is still bit-for-bit the clean
+one (the determinism contract: a retried pure-UDA pass re-runs exactly, so
+recovery must not change a single bit of the answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.driver import IGDConfig, train
+from ..core.parallel import PureUDAParallelism
+from ..data import load_classification_table, make_sparse_classification
+from ..db import FaultPlan, SegmentedDatabase
+from ..db.process_backend import available_cores
+from ..db.supervisor import RecoveryPolicy
+from ..tasks.logistic_regression import LogisticRegressionTask
+from .harness import ExperimentScale, resolve_scale
+from .reporting import render_table
+
+
+@dataclass
+class FaultRecoveryResult:
+    """Clean vs killed-worker run of the same process-backed training loop."""
+
+    workers: int
+    cores: int
+    epochs: int
+    fault_epoch: int
+    clean_total_seconds: float = 0.0
+    faulted_total_seconds: float = 0.0
+    #: Wall-clock of the targeted epoch without / with the injected kill —
+    #: their difference is the detection + respawn + payload-replay + retry
+    #: price of one worker death.
+    clean_epoch_seconds: float = 0.0
+    killed_epoch_seconds: float = 0.0
+    respawn_count: int = 0
+    payloads_replayed: int = 0
+    #: The acceptance bar: the recovered run's final model must be
+    #: bit-for-bit the clean run's (deterministic pure-UDA retry semantics).
+    bit_for_bit: bool = False
+    event_kinds: list = field(default_factory=list)
+
+    def recovery_overhead_seconds(self) -> float:
+        return self.killed_epoch_seconds - self.clean_epoch_seconds
+
+    def render(self) -> str:
+        rows = [
+            ("clean", f"{self.clean_epoch_seconds:.4f}s", f"{self.clean_total_seconds:.3f}s", "-"),
+            (
+                "worker killed",
+                f"{self.killed_epoch_seconds:.4f}s",
+                f"{self.faulted_total_seconds:.3f}s",
+                f"{self.respawn_count} respawn(s), {self.payloads_replayed} payload(s) replayed",
+            ),
+        ]
+        return render_table(
+            ["Run", f"Epoch {self.fault_epoch}", "Total", "Recovery"],
+            rows,
+            title=(
+                f"Fault recovery (pure-UDA x{self.workers}, {self.cores} cores, "
+                f"kill at epoch {self.fault_epoch}; overhead "
+                f"{self.recovery_overhead_seconds():.4f}s; bit-for-bit: "
+                f"{self.bit_for_bit})"
+            ),
+        )
+
+    def bench_payload(self) -> dict:
+        return {
+            "workers": self.workers,
+            "cores": self.cores,
+            "epochs": self.epochs,
+            "fault_epoch": self.fault_epoch,
+            "clean_epoch_seconds": round(self.clean_epoch_seconds, 4),
+            "killed_epoch_seconds": round(self.killed_epoch_seconds, 4),
+            "recovery_overhead_seconds": round(self.recovery_overhead_seconds(), 4),
+            "respawn_count": self.respawn_count,
+            "payloads_replayed": self.payloads_replayed,
+            "bit_for_bit": self.bit_for_bit,
+            "event_kinds": list(self.event_kinds),
+        }
+
+
+def run_fault_recovery_experiment(
+    scale: ExperimentScale | str | None = None,
+    *,
+    workers: int | None = None,
+    epochs: int = 3,
+    fault_epoch: int = 1,
+    seed: int = 0,
+) -> FaultRecoveryResult:
+    """Train clean and with a mid-epoch worker kill; measure the difference.
+
+    The workload is the sparse logistic-regression corpus on the segmented
+    pure-UDA process path — deterministic end to end, so the recovered run is
+    required to produce the clean run's exact final model.  The kill targets
+    a gradient pass (``op=uda_state``) of the chosen epoch on worker
+    ``workers - 1``; the supervised pool detects the broken pipe, respawns
+    the casualty, replays its payload registry, and the pass retries.
+    """
+    scale = resolve_scale(scale)
+    cores = available_cores()
+    workers = workers or min(3, max(2, cores))
+    dataset = make_sparse_classification(
+        scale.sparse_examples,
+        scale.sparse_dimension,
+        nonzeros_per_example=scale.sparse_nonzeros,
+        seed=11,
+    )
+    task = LogisticRegressionTask(dataset.dimension)
+    policy = RecoveryPolicy(timeout=60.0, max_respawns=3, backoff=0.0)
+    config = IGDConfig(
+        max_epochs=epochs,
+        ordering="shuffle_once",
+        seed=seed,
+        parallelism=PureUDAParallelism(backend="process"),
+    )
+
+    def run(faults: tuple = ()):
+        database = SegmentedDatabase(
+            workers, "dbms_b", seed=seed, recovery=policy, faults=faults
+        )
+        load_classification_table(database, "pts", dataset.examples, sparse=True)
+        try:
+            return train(task, database, "pts", config=config)
+        finally:
+            database.close_process_pools()
+
+    clean = run()
+    faulted = run(
+        faults=(FaultPlan("kill", worker=workers - 1, epoch=fault_epoch, op="uda_state"),)
+    )
+
+    result = FaultRecoveryResult(
+        workers=workers, cores=cores, epochs=epochs, fault_epoch=fault_epoch
+    )
+    result.clean_total_seconds = clean.total_seconds
+    result.faulted_total_seconds = faulted.total_seconds
+    result.clean_epoch_seconds = clean.history[fault_epoch].elapsed_seconds
+    result.killed_epoch_seconds = faulted.history[fault_epoch].elapsed_seconds
+    result.respawn_count = faulted.respawn_count
+    result.payloads_replayed = sum(
+        getattr(event, "payloads_replayed", 0) for event in faulted.recovery_events
+    )
+    result.bit_for_bit = bool(
+        np.array_equal(
+            clean.model.as_flat_vector(), faulted.model.as_flat_vector()
+        )
+    )
+    result.event_kinds = [
+        getattr(event, "kind", type(event).__name__)
+        for event in faulted.recovery_events
+    ]
+    return result

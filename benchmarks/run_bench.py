@@ -85,6 +85,7 @@ def _figures(scale: str) -> dict:
         run_parallel_convergence,
         run_scalability_experiment,
         run_speedup_experiment,
+        run_streaming_ingest_experiment,
         run_whole_loop_experiment,
     )
 
@@ -102,6 +103,7 @@ def _figures(scale: str) -> dict:
         "whole_loop_parallel": lambda: run_whole_loop_experiment(scale),
         "fault_recovery": lambda: run_fault_recovery_experiment(scale),
         "fig10a_mrs": lambda: run_mrs_convergence(scale),
+        "streaming_ingest": lambda: run_streaming_ingest_experiment(scale),
     }
 
 

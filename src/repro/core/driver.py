@@ -112,6 +112,10 @@ class IGDResult:
     ordering_name: str = ""
     parallelism_name: str = "serial"
     shuffle_seconds: float = 0.0
+    #: Version of the trained table when the run finished — the watermark a
+    #: later :meth:`BismarckRunner.partial_fit` continues from.  ``-1`` for
+    #: runs with no backing table (``train_in_memory``).
+    table_version: int = -1
     #: Structured RecoveryEvent / DegradationEvent records this run absorbed
     #: (supervised-pool respawns, backend fallbacks).  Empty for clean runs.
     recovery_events: list = field(default_factory=list)
@@ -242,10 +246,142 @@ class BismarckRunner:
             ordering_name=ordering.describe(),
             parallelism_name=self._parallelism_name(),
             shuffle_seconds=ordering.shuffle_seconds,
+            table_version=table.version,
             recovery_events=list(
                 getattr(engine, "recovery_log", [])[recovery_mark:]
             ),
         )
+
+    def partial_fit(
+        self,
+        table_name: str,
+        *,
+        initial_model: Model | None = None,
+        since_version: int | None = None,
+        full_pass_every: int = 0,
+        max_epochs: int | None = None,
+    ) -> IGDResult:
+        """Continue training over the rows appended since ``since_version``.
+
+        The incremental-ingest entry point.  The table's append-aware ledger
+        classifies how it moved from ``since_version`` to now:
+
+        * ``same`` — nothing new arrived; returns immediately with a copy of
+          the warm model (``converged=True``, zero epochs).
+        * ``append`` — runs IGD epochs whose visit order covers only the
+          delta rows, each epoch freshly permuted, plus a periodic pass over
+          the *whole* table every ``full_pass_every`` delta epochs (0 =
+          never) so old rows keep influencing the model.  The heap is never
+          rewritten, so the example cache extends incrementally and the cost
+          of refreshing the model scales with the delta, not the table.
+        * ``rewrite`` — the premise that old rows were already absorbed is
+          gone; falls back to a full :meth:`train` warm-started from
+          ``initial_model``.
+
+        A missing warm start (``initial_model`` or ``since_version`` is
+        ``None``) also falls back to full training.  The objective, when
+        computed, is always the full-table objective — it measures model
+        freshness against *all* data, which is what the stopping rule and
+        the streaming experiments care about.  Composes with every backend
+        :meth:`train` supports and with epoch-adaptive batch schedules.
+        """
+        config = self.config
+        table = self._master_table(table_name)
+        delta = (
+            table.classify_delta(since_version) if since_version is not None else None
+        )
+        if initial_model is None or delta is None or delta.kind == "rewrite":
+            return self.train(table_name, initial_model=initial_model)
+
+        engine = self._engine()
+        recovery_mark = len(getattr(engine, "recovery_log", []))
+        total_start = time.perf_counter()
+        model = initial_model.copy()
+        if delta.is_same:
+            return IGDResult(
+                model=model,
+                history=[],
+                total_seconds=time.perf_counter() - total_start,
+                converged=True,
+                task_name=self.task.describe(),
+                ordering_name="delta[0]",
+                parallelism_name=self._parallelism_name(),
+                table_version=table.version,
+            )
+
+        rng = np.random.default_rng(config.seed)
+        stopping = config.resolved_stopping()
+        schedule = make_schedule(config.step_size)
+        proximal = config.proximal if config.proximal is not None else self.task.proximal
+        if isinstance(self.database, SegmentedDatabase):
+            # Incremental on appends: extends the existing segment tables.
+            self.database.redistribute(table_name)
+
+        epochs = max_epochs if max_epochs is not None else config.max_epochs
+        base_rows = delta.base_rows
+        step_offset = 0
+        history: list[EpochRecord] = []
+        converged = False
+        for epoch in range(epochs):
+            epoch_start = time.perf_counter()
+            full = full_pass_every > 0 and (epoch + 1) % full_pass_every == 0
+            orders = self._delta_orders(table_name, table, 0 if full else base_rows, rng)
+            model, steps = self._run_epoch(
+                table_name, table, model, schedule, proximal, epoch, step_offset,
+                None, rng, explicit_orders=orders,
+            )
+            step_offset += steps
+            objective = float("nan")
+            if config.compute_objective:
+                objective = self._compute_objective(table_name, table, model, proximal)
+            history.append(
+                EpochRecord(
+                    epoch=epoch,
+                    objective=objective,
+                    elapsed_seconds=time.perf_counter() - epoch_start,
+                    gradient_steps=step_offset,
+                    model_norm=model.norm(),
+                )
+            )
+            if config.compute_objective and stopping.should_stop(history):
+                converged = True
+                break
+
+        return IGDResult(
+            model=model,
+            history=history,
+            total_seconds=time.perf_counter() - total_start,
+            converged=converged,
+            task_name=self.task.describe(),
+            ordering_name=f"delta[{delta.rows_added}]",
+            parallelism_name=self._parallelism_name(),
+            table_version=table.version,
+            recovery_events=list(
+                getattr(engine, "recovery_log", [])[recovery_mark:]
+            ),
+        )
+
+    def _delta_orders(
+        self, table_name: str, table: Table, start: int, rng: np.random.Generator
+    ) -> tuple:
+        """Permuted visit orders over master rows ``[start, len)``.
+
+        Returns ``(row_order, segment_orders)`` shaped for the configured
+        backend.  For segmented pure-UDA runs the master-row window is mapped
+        onto each segment: round-robin placement puts master row ``g`` at
+        segment ``g % S``, so the first ``ceil_div``-style prefix of every
+        segment holds old rows and the suffix holds the delta.
+        """
+        spec = self.config.parallelism
+        if isinstance(spec, PureUDAParallelism) and isinstance(self.database, SegmentedDatabase):
+            segments = self.database.segments_of(table_name)
+            count = len(segments)
+            orders = []
+            for index, segment in enumerate(segments):
+                seg_start = start // count + (1 if index < start % count else 0)
+                orders.append(seg_start + rng.permutation(len(segment) - seg_start))
+            return None, orders
+        return start + rng.permutation(len(table) - start), None
 
     # -------------------------------------------------------------- internals
     def _engine(self) -> Database:
@@ -286,15 +422,19 @@ class BismarckRunner:
         proximal: ProximalOperator,
         epoch: int,
         step_offset: int,
-        ordering: OrderingPolicy,
+        ordering: OrderingPolicy | None,
         rng: np.random.Generator,
+        *,
+        explicit_orders: tuple | None = None,
     ) -> tuple[Model, int]:
         """Compile this epoch's gradient pass to a PassPlan and execute it.
 
         The former spec×backend ``if/elif`` ladder lives in
         :func:`repro.db.pass_plan.epoch_backend`; here we only gather the
         epoch's ingredients (visit orders, aggregate factory, epoch context)
-        into one plan that any backend can run.
+        into one plan that any backend can run.  ``explicit_orders`` — a
+        ``(row_order, segment_orders)`` pair — bypasses the ordering policy
+        entirely; :meth:`partial_fit` uses it to visit only delta rows.
         """
         spec = self.config.parallelism
         if (
@@ -318,7 +458,9 @@ class BismarckRunner:
         )
         row_order = None
         segment_orders: list | None = None
-        if isinstance(spec, PureUDAParallelism) and isinstance(self.database, SegmentedDatabase):
+        if explicit_orders is not None:
+            row_order, segment_orders = explicit_orders
+        elif isinstance(spec, PureUDAParallelism) and isinstance(self.database, SegmentedDatabase):
             # Logical shuffles permute each shared-nothing segment in place
             # (rows never migrate between segments, exactly like independent
             # segment-local ORDER BY RANDOM() runs — the partition index keys

@@ -75,6 +75,7 @@ class Database:
         seed: int | None = None,
         recovery: "object | None" = None,
         faults: "Sequence | None" = None,
+        cache_entries: int | None = None,
     ):
         if isinstance(personality, str):
             try:
@@ -103,12 +104,18 @@ class Database:
         #: re-losing) a pool every epoch.  Cleared by :meth:`reset_degradation`.
         self.process_degraded = False
         self.rng = np.random.default_rng(seed)
+        executor_kwargs = {}
+        if cache_entries is not None:
+            # Bound on retained ExampleCache entries (LRU by last touch) so
+            # long streaming runs do not grow decoded-batch memory unbounded.
+            executor_kwargs["cache_entries"] = cache_entries
         self.executor = Executor(
             self.aggregates,
             self.functions,
             per_tuple_overhead=personality.per_tuple_overhead,
             model_passing_overhead=personality.model_passing_cost,
             rng=self.rng,
+            **executor_kwargs,
         )
         self.executor.on_degradation = self.record_recovery_event
 

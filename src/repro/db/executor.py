@@ -84,6 +84,7 @@ class Executor:
         model_passing_overhead: float = 0.0,
         rng: np.random.Generator | None = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        cache_entries: int = 32,
     ):
         self.aggregates = aggregates
         # Keep a reference to the caller's registry (not a copy): functions
@@ -91,6 +92,8 @@ class Executor:
         self.functions = functions if functions is not None else {}
         #: Rows per columnar chunk on the batch-at-a-time aggregation path.
         self.chunk_size = chunk_size
+        #: Bound on retained ExampleCache entries (LRU by last touch).
+        self.cache_entries = cache_entries
         self._example_cache = None  # built lazily (avoids a db<->tasks import cycle)
         #: Simulated fixed cost charged per tuple fed to an aggregate; the
         #: engine personalities use this to model per-engine differences
@@ -249,7 +252,7 @@ class Executor:
         if self._example_cache is None:
             from ..tasks.base import ExampleCache
 
-            self._example_cache = ExampleCache()
+            self._example_cache = ExampleCache(self.cache_entries)
         return self._example_cache
 
     def chunk_plan(

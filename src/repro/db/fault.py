@@ -59,9 +59,16 @@ from .errors import ExecutionError
 FAULT_ACTIONS = ("kill", "hang", "poison")
 
 #: Worker ops that count as compute commands for fault matching.  Control
-#: traffic ("ping", "load", "drop", "stop") never triggers a fault: faults
+#: traffic ("ping", "drop", "stop") never triggers a fault by default: faults
 #: target the *pass* being executed, not the payload plumbing around it.
 COMPUTE_OPS = ("uda_state", "chunk_uda", "generic_uda", "shmem_epoch")
+
+#: Payload-shipping ops that may be targeted *explicitly* with ``op=``.
+#: They never match an op-less plan (default matching stays compute-only),
+#: but ``op=load`` / ``op=extend`` lets the chaos suite kill a worker in the
+#: middle of base or delta payload shipping, exercising the supervisor's
+#: base+delta replay.
+PAYLOAD_OPS = ("load", "extend")
 
 #: Environment variable carrying a fault spec for supervised pools.
 FAULT_ENV_VAR = "REPRO_FAULT"
@@ -99,9 +106,10 @@ class FaultPlan:
             raise ExecutionError("fault worker index must be >= 0")
         if self.epoch < 0:
             raise ExecutionError("fault epoch must be >= 0")
-        if self.op is not None and self.op not in COMPUTE_OPS:
+        if self.op is not None and self.op not in COMPUTE_OPS + PAYLOAD_OPS:
             raise ExecutionError(
-                f"unknown fault op {self.op!r}; expected one of {COMPUTE_OPS}"
+                f"unknown fault op {self.op!r}; expected one of "
+                f"{COMPUTE_OPS + PAYLOAD_OPS}"
             )
         if self.seconds <= 0:
             raise ExecutionError("fault seconds must be positive")
@@ -190,16 +198,26 @@ class FaultInjector:
         self._pending = [plan for plan in self.plans if plan.worker == self.worker]
 
     def before(self, op: str) -> None:
-        """Maybe fire a fault for this compute command.  May not return."""
-        if op not in COMPUTE_OPS or not self._pending:
+        """Maybe fire a fault for this command.  May not return.
+
+        Op-less plans match any compute command; plans with ``op=`` match
+        that op only — including the payload ops (``load``/``extend``), so
+        the chaos suite can kill a worker mid-shipment.
+        """
+        if not self._pending:
             self._bump(op)
             return
         fired = None
         for plan in self._pending:
-            count = (
-                self._seen_by_op.get(plan.op, 0) if plan.op is not None else self._seen_total
-            )
-            if (plan.op is None or plan.op == op) and count == plan.epoch:
+            if plan.op is not None:
+                if plan.op != op:
+                    continue
+                count = self._seen_by_op.get(plan.op, 0)
+            else:
+                if op not in COMPUTE_OPS:
+                    continue
+                count = self._seen_total
+            if count == plan.epoch:
                 fired = plan
                 break
         self._bump(op)
@@ -218,4 +236,5 @@ class FaultInjector:
     def _bump(self, op: str) -> None:
         if op in COMPUTE_OPS:
             self._seen_total += 1
+        if op in COMPUTE_OPS or op in PAYLOAD_OPS:
             self._seen_by_op[op] = self._seen_by_op.get(op, 0) + 1

@@ -64,6 +64,10 @@ class SegmentedDatabase:
         segments = num_segments if num_segments is not None else self.master.personality.default_segments
         self.num_segments = segments
         self._segment_tables: dict[str, list[Table]] = {}
+        #: Master-table version each segment set currently reflects, so
+        #: :meth:`redistribute` can classify the delta since the last sync and
+        #: extend segments in place on append-only mutations.
+        self._segment_versions: dict[str, int] = {}
 
     # -------------------------------------------------------------- catalog
     @property
@@ -75,18 +79,24 @@ class SegmentedDatabase:
     ) -> Table:
         table = self.master.create_table(name, columns)
         self._segment_tables[name.lower()] = table.partition(self.num_segments)
+        self._segment_versions[name.lower()] = table.version
         return table
 
     def load_table(self, table: Table, *, replace: bool = False) -> None:
         """Register an already-populated table and distribute it to segments."""
         self.master.register_table(table, replace=replace)
         self._segment_tables[table.name.lower()] = table.partition(self.num_segments)
+        self._segment_versions[table.name.lower()] = table.version
 
     def insert(self, table_name: str, rows) -> int:
-        """Insert rows on the master and re-distribute the table."""
+        """Insert rows on the master and extend (or rebuild) the segments.
+
+        Appends route through the incremental path in :meth:`redistribute`:
+        the existing segment tables are extended in place, so their example
+        caches and any resident worker payloads survive the insert.
+        """
         count = self.master.insert(table_name, rows)
-        table = self.master.table(table_name)
-        self._segment_tables[table_name.lower()] = table.partition(self.num_segments)
+        self.redistribute(table_name)
         return count
 
     def table(self, name: str) -> Table:
@@ -99,9 +109,40 @@ class SegmentedDatabase:
             raise UnknownTableError(name) from None
 
     def redistribute(self, name: str) -> None:
-        """Re-partition a table after its master copy was reordered."""
+        """Bring the segment tables back in sync with the master copy.
+
+        Consults the master's version ledger: when every mutation since the
+        last sync appended rows at the tail, the new rows are round-robin
+        *appended* to the existing segment tables — row ``g`` goes to segment
+        ``g % num_segments``, exactly where a full re-partition would put it,
+        so incremental extension and rebuild produce identical segments while
+        extension keeps the segment ``Table`` objects (and everything keyed on
+        them: example-cache entries, resident worker payloads) alive.
+        Physical rewrites fall back to a full re-partition.
+        """
         table = self.master.table(name)
-        self._segment_tables[name.lower()] = table.partition(self.num_segments)
+        key = name.lower()
+        segments = self._segment_tables.get(key)
+        synced = self._segment_versions.get(key)
+        if segments is not None and synced is not None:
+            delta = table.classify_delta(synced)
+            if delta.is_same:
+                return
+            if delta.is_append:
+                self._extend_segments(segments, table, delta.base_rows)
+                self._segment_versions[key] = table.version
+                return
+        self._segment_tables[key] = table.partition(self.num_segments)
+        self._segment_versions[key] = table.version
+
+    def _extend_segments(self, segments: list[Table], table: Table, base_rows: int) -> None:
+        """Append the master rows ``[base_rows, len)`` to their home segments."""
+        buckets: list[list[tuple]] = [[] for _ in segments]
+        for offset, values in enumerate(table.tail_values(base_rows)):
+            buckets[(base_rows + offset) % len(segments)].append(values)
+        for segment, rows in zip(segments, buckets):
+            if rows:
+                segment.insert_many(rows)
 
     # ------------------------------------------------------------ registration
     def register_aggregate(self, name: str, factory: Callable[[], UserDefinedAggregate]) -> None:

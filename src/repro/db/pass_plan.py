@@ -86,10 +86,14 @@ class PassPlan:
 
     kind: str
     table: "Table"
-    #: Table version snapshotted at compile time; backends refuse to run a
-    #: plan whose table has since physically mutated (the cache-invalidation
-    #: rule of the chunk plane, surfaced as an explicit staleness check).
+    #: Table version snapshotted at compile time.  Backends re-validate the
+    #: snapshot before running: append-only deltas (per the table's version
+    #: ledger) refresh the plan to the current version, while rewrites —
+    #: which invalidate the cached chunk plane — are refused.
     version: int = 0
+    #: Row count snapshotted at compile time and refreshed by
+    #: :meth:`revalidate` on append-only deltas.
+    num_rows: int = 0
     factory: "Callable[[], UserDefinedAggregate] | None" = None
     argument: "Expression | None" = None
     where: "Expression | None" = None
@@ -104,13 +108,35 @@ class PassPlan:
     chunk_partitionable: bool = False
     train: TrainEpochContext | None = None
 
+    def revalidate(self) -> "PassPlan":
+        """Refresh the plan's version snapshot across append-only deltas.
+
+        A plan compiled at version *v* can keep running at *v+k* when the
+        table's ledger shows every intervening mutation appended rows at the
+        tail: the cached chunk plane extends rather than invalidates, so the
+        plan only needs its version and row-count snapshots re-taken — no
+        recompilation.  A rewrite delta (shuffle, cluster, truncate, or a
+        range the ledger no longer covers) raises :class:`ExecutionError`
+        naming the mutating operation recorded in the ledger.
+        """
+        delta = self.table.classify_delta(self.version)
+        if delta.is_same:
+            return self
+        if delta.is_append:
+            self.version = self.table.version
+            self.num_rows = len(self.table)
+            return self
+        operation = delta.op or "unknown"
+        raise ExecutionError(
+            f"stale PassPlan: table {self.table.name!r} was rewritten by "
+            f"{operation!r} (plan compiled at version {self.version}, table "
+            f"now at version {self.table.version}); appends revalidate "
+            "automatically but physical rewrites require recompiling the pass"
+        )
+
     def check_version(self) -> None:
-        if self.table.version != self.version:
-            raise ExecutionError(
-                f"stale PassPlan: table {self.table.name!r} is at version "
-                f"{self.table.version}, plan was compiled at {self.version}; "
-                "recompile the pass after physical mutations"
-            )
+        """Backend entry point: revalidate, absorbing append-only deltas."""
+        self.revalidate()
 
     def describe(self) -> str:
         width = f"x{self.workers}" if self.workers > 1 else ""
@@ -155,6 +181,7 @@ def compile_pass(
         kind=kind,
         table=table,
         version=table.version,
+        num_rows=len(table),
         factory=factory,
         argument=argument,
         where=where,

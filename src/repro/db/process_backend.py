@@ -214,6 +214,36 @@ def _run_generic_uda_state(payloads: dict, msg: tuple) -> Any:
     return state
 
 
+def _apply_extend(payloads: dict, key: tuple, mode: str, delta: Any) -> None:
+    """Extend a resident payload in place with a shipped delta.
+
+    Every mode carries the *start* position the delta applies at, so a replay
+    (after a retried shipment) truncates back to the base before re-extending
+    — applying a chain of deltas in ascending version order is idempotent.
+
+    * ``examples_extend`` — payload is ``(examples, task)``; new decoded
+      examples append to the examples list.
+    * ``list_extend`` — payload is a plain list (raw row blocks); new items
+      append.
+    * ``batches_tail`` — payload is a columnar chunk list; the tail from
+      ``start`` (the first chunk the append touched) is replaced with the
+      re-chunked tail.
+    """
+    start, items = delta
+    resident = payloads[key]
+    if mode == "examples_extend":
+        target = resident[0]
+        del target[start:]
+        target.extend(items)
+    elif mode == "list_extend":
+        del resident[start:]
+        resident.extend(items)
+    elif mode == "batches_tail":
+        resident[start:] = items
+    else:
+        raise ExecutionError(f"unknown payload extend mode {mode!r}")
+
+
 def _worker_main(
     conn, lock, worker_index: int = 0, faults: "tuple[FaultPlan, ...]" = ()
 ) -> None:
@@ -236,6 +266,9 @@ def _worker_main(
                 conn.send(("ok", os.getpid()))
             elif op == "load":
                 payloads[msg[1]] = pickle.loads(msg[2])
+                conn.send(("ok", None))
+            elif op == "extend":
+                _apply_extend(payloads, msg[1], msg[2], pickle.loads(msg[3]))
                 conn.send(("ok", None))
             elif op == "drop":
                 payloads.pop(msg[1], None)
@@ -260,6 +293,34 @@ def _worker_main(
 _LIVE_POOLS: "weakref.WeakSet[ProcessWorkerPool]" = weakref.WeakSet()
 
 
+class _PayloadRecord:
+    """Pickled payload bytes for one key: a base plus an append-delta chain.
+
+    ``base_bytes`` is the full payload pickled at ``base_version``;
+    ``deltas`` is an ordered chain of ``(to_version, mode, delta_bytes)``
+    entries, each advancing the payload from the previous entry's version.
+    A respawned worker is replayed the base and then the chain in order —
+    exactly the bytes the original shipments used.  ``base_version`` is
+    ``None`` for unversioned payloads (no delta shipping, no chain).
+    """
+
+    __slots__ = ("base_version", "base_bytes", "deltas")
+
+    def __init__(self, base_version: "int | None", base_bytes: bytes):
+        self.base_version = base_version
+        self.base_bytes = base_bytes
+        self.deltas: list[tuple[int, str, bytes]] = []
+
+    @property
+    def version(self) -> "int | None":
+        """The version the base + full chain reconstructs."""
+        return self.deltas[-1][0] if self.deltas else self.base_version
+
+    def chain_versions(self) -> list:
+        """Every version a worker may legitimately be resident at."""
+        return [self.base_version] + [to_version for to_version, _, _ in self.deltas]
+
+
 @atexit.register
 def _close_pools_at_exit() -> None:  # pragma: no cover - exercised at interpreter exit
     for pool in list(_LIVE_POOLS):
@@ -279,6 +340,12 @@ class ProcessWorkerPool:
     #: long to acknowledge "stop" before being abandoned to terminate().
     drain_timeout = 2.0
 
+    #: Delta-chain length at which a payload record is compacted back to a
+    #: single full base (re-built and re-pickled once).  Bounds both the
+    #: parent-side byte registry and the worst-case respawn replay under
+    #: long streaming runs.
+    max_delta_chain = 64
+
     def __init__(self, workers: int, *, faults: "tuple[FaultPlan, ...]" = ()):
         if workers <= 0:
             raise ExecutionError("process pool needs at least one worker")
@@ -290,12 +357,16 @@ class ProcessWorkerPool:
         self._conns = []
         self._procs = []
         self._closed = False
-        self._loaded: set[tuple[int, tuple]] = set()
+        #: Resident payload version per (worker, key) — ``None`` for
+        #: unversioned payloads, the table version the worker's copy
+        #: reconstructs for versioned ones.
+        self._loaded: dict[tuple[int, tuple], "int | None"] = {}
         #: Pins id()-keyed payload keys' objects for the pool's lifetime.
         self._pins: dict[tuple, Any] = {}
-        #: Pickled payload bytes by key, kept so a respawned worker can be
-        #: replayed its payloads without re-building or re-pickling them.
-        self._payload_bytes: dict[tuple, bytes] = {}
+        #: Pickled payload records by key (base bytes + append-delta chain),
+        #: kept so a respawned worker can be replayed its payloads without
+        #: re-building or re-pickling anything.
+        self._payload_bytes: dict[tuple, _PayloadRecord] = {}
         #: Op currently awaiting a reply, per worker (empty when quiescent).
         self._inflight: dict[int, str] = {}
         # Start the shared-memory resource tracker *before* forking: workers
@@ -405,31 +476,111 @@ class ProcessWorkerPool:
         build: Callable[[], Any],
         *,
         pin: Any = None,
+        version: "int | None" = None,
+        extend: "Callable[[int], tuple[str, Any] | None] | None" = None,
     ) -> None:
         """Ship a payload to the given workers unless they already hold it.
 
         The payload is built and pickled **once** per key, then sent to every
         missing worker — this is the "pickled-once chunk payload" contract:
-        a (table, version) decode crosses the process boundary exactly once,
-        and later epochs address it by key.  ``pin`` keeps any id()-keyed
-        object in the key alive for the pool's lifetime.
+        a table decode crosses the process boundary exactly once, and later
+        epochs address it by key.  ``pin`` keeps any id()-keyed object in the
+        key alive for the pool's lifetime.
+
+        With ``version`` (the table version the payload reflects) and
+        ``extend``, the payload becomes **delta-shippable**: a worker already
+        resident at an older version of the key receives only the delta that
+        advances it.  ``extend(from_version)`` returns ``(mode, delta)`` — a
+        worker-side :func:`_apply_extend` mode plus its payload — or ``None``
+        when the range is not append-only, which falls back to a full
+        reshipment under the same key (also what bounds worker memory under
+        rewrites: the resident payload is *replaced*, not accumulated
+        beside).
         """
         if self._closed:
             raise ExecutionError("process pool is closed")
-        missing = [w for w in worker_ids if (w, key) not in self._loaded]
-        if not missing:
-            return
-        payload_bytes = self._payload_bytes.get(key)
-        if payload_bytes is None:
-            payload_bytes = pickle.dumps(build(), protocol=pickle.HIGHEST_PROTOCOL)
-            self._payload_bytes[key] = payload_bytes
+        worker_ids = list(worker_ids)
         if pin is not None:
             self._pins[key] = pin
-        for worker in missing:
-            self._inflight[worker] = "load"
-            self._conns[worker].send(("load", key, payload_bytes))
-        self._gather(missing)
-        self._loaded.update((worker, key) for worker in missing)
+        record = self._payload_bytes.get(key)
+        if version is None:
+            # Unversioned payload: key identity fully determines content.
+            missing = [w for w in worker_ids if (w, key) not in self._loaded]
+            if not missing:
+                return
+            if record is None:
+                record = _PayloadRecord(
+                    None, pickle.dumps(build(), protocol=pickle.HIGHEST_PROTOCOL)
+                )
+                self._payload_bytes[key] = record
+            self._ship(missing, key, ("load", key, record.base_bytes), "load", None)
+            return
+        pending = [w for w in worker_ids if self._loaded.get((w, key), -1) != version]
+        if not pending:
+            return
+        # Advance the parent-side record to the requested version first.
+        if record is not None and record.version != version:
+            delta = extend(record.version) if extend is not None else None
+            if delta is None:
+                record = None  # rewrite (or no delta builder): rebuild below
+            else:
+                mode, payload = delta
+                record.deltas.append(
+                    (version, mode, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+                )
+                if len(record.deltas) > self.max_delta_chain:
+                    # Compact: one fresh full pickle replaces the chain.
+                    # Workers resident at `version` stay resident — their
+                    # incrementally-extended copies are bit-for-bit the full
+                    # payload; workers parked at intermediate versions get a
+                    # full reshipment on their next use.
+                    record = None
+        if record is None:
+            record = _PayloadRecord(
+                version, pickle.dumps(build(), protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            self._payload_bytes[key] = record
+        # Ship the base to workers holding nothing (or an off-chain copy),
+        # then walk the delta chain, advancing every worker behind each step.
+        chain = set(record.chain_versions())
+        base_targets = [
+            w for w in pending if self._loaded.get((w, key), -1) not in chain
+        ]
+        if base_targets:
+            self._ship(
+                base_targets, key, ("load", key, record.base_bytes), "load",
+                record.base_version,
+            )
+        for to_version, mode, delta_bytes in record.deltas:
+            targets = [
+                w for w in pending if self._loaded[(w, key)] < to_version
+            ]
+            if targets:
+                self._ship(
+                    targets, key, ("extend", key, mode, delta_bytes), "extend",
+                    to_version,
+                )
+
+    def _ship(
+        self,
+        workers: Sequence[int],
+        key: tuple,
+        message: tuple,
+        op: str,
+        version: "int | None",
+    ) -> None:
+        """Send one payload message to every listed worker and gather.
+
+        Residency is recorded per worker *after* its reply round succeeds, so
+        an aborted shipment (worker death mid-round) leaves the casualties
+        unrecorded — the retried pass re-ships them from the byte registry.
+        """
+        for worker in workers:
+            self._inflight[worker] = op
+            self._conns[worker].send(message)
+        self._gather(list(workers))
+        for worker in workers:
+            self._loaded[(worker, key)] = version
 
     # -------------------------------------------------------------- lifecycle
     def __enter__(self) -> "ProcessWorkerPool":
@@ -483,19 +634,48 @@ class ProcessWorkerPool:
 # ---------------------------------------------------------------------------
 # Payload keys (worker-side caches, shipped pickled-once per key)
 # ---------------------------------------------------------------------------
+# Keys are deliberately version-*less*: a key addresses "this table decoded
+# this way", and the pool's residency registry tracks which version each
+# worker's copy reflects.  Appends advance resident payloads with deltas;
+# rewrites *replace* them under the same key — so worker memory is bounded by
+# the number of live (table, decoder) pairs, not by mutation count.  The
+# table's id() is part of the key (and the table is pinned) so a
+# dropped-and-recreated table of the same name can never alias a stale
+# resident payload.
 def payload_key(table: Table, decoder: Any) -> tuple:
-    """Worker-side payload key for one (table, version, decoding task)."""
-    return ("examples", table.name, table.version, id(decoder))
+    """Worker-side payload key for one (table, decoding task) pair."""
+    return ("examples", table.name, id(table), id(decoder))
 
 
 def batches_payload_key(table: Table, decoder: Any, chunk_size: int) -> tuple:
     """Worker-side payload key for one table's cached columnar chunk list."""
-    return ("batches", table.name, table.version, id(decoder), chunk_size)
+    return ("batches", table.name, id(table), id(decoder), chunk_size)
 
 
 def rows_payload_key(table: Table) -> tuple:
     """Worker-side payload key for one table's raw row block."""
-    return ("rows", table.name, table.version)
+    return ("rows", table.name, id(table))
+
+
+def examples_delta_builder(
+    table: Table, decoder: Any, cache: "ExampleCache"
+) -> Callable[[int], "tuple[str, Any] | None"]:
+    """Delta builder for decoded-example payloads (``examples_extend``).
+
+    Resolves the (already extended) example list through the shared chunk
+    plane and ships only the rows past the worker's resident version.
+    """
+
+    def extend(from_version: int) -> "tuple[str, Any] | None":
+        delta = table.classify_delta(from_version)
+        if not delta.is_append:
+            return None
+        examples = cache.examples_for(table, decoder)
+        if len(examples) != delta.base_rows + delta.rows_added:
+            return None
+        return ("examples_extend", (delta.base_rows, examples[delta.base_rows:]))
+
+    return extend
 
 
 # ---------------------------------------------------------------------------
@@ -541,7 +721,9 @@ def run_partitioned_uda(
         pool.ensure_loaded(
             workers, key,
             lambda table=table, decoder=decoder: (cache.examples_for(table, decoder), decoder),
-            pin=decoder,
+            pin=(table, decoder),
+            version=table.version,
+            extend=examples_delta_builder(table, decoder, cache),
         )
     states = pool.run(messages)
     return [states[worker] for worker in sorted(states)]
@@ -658,8 +840,22 @@ def run_process_chunk_aggregate(
     batches = plan.batches
     width = _effective_workers(pool, workers, len(batches))
     key = batches_payload_key(table, instance.chunk_decoder, executor.chunk_size)
+    chunk_size = executor.chunk_size
+
+    def extend_batches(from_version: int) -> "tuple[str, Any] | None":
+        delta = table.classify_delta(from_version)
+        if not delta.is_append:
+            return None
+        # The first chunk the append touched: the resident partial tail (if
+        # any) plus every chunk after it are replaced with the re-chunked
+        # tail of the extended plan.
+        start = delta.base_rows // chunk_size
+        return ("batches_tail", (start, batches[start:]))
+
     pool.ensure_loaded(
-        range(width), key, lambda: batches, pin=instance.chunk_decoder
+        range(width), key, lambda: batches,
+        pin=(table, instance.chunk_decoder),
+        version=table.version, extend=extend_batches,
     )
     table.scan_count += 1
     messages: dict[int, tuple] = {}
@@ -703,7 +899,23 @@ def run_process_generic_aggregate(
             if name in executor.functions:
                 functions[name] = executor.functions[name]
     key = rows_payload_key(table)
-    pool.ensure_loaded(range(width), key, table.to_rows, pin=table)
+
+    def extend_rows(from_version: int) -> "tuple[str, Any] | None":
+        delta = table.classify_delta(from_version)
+        if not delta.is_append:
+            return None
+        from .types import Row
+
+        schema = table.schema
+        new_rows = [Row(schema, values) for values in table.tail_values(delta.base_rows)]
+        if len(new_rows) != delta.rows_added:
+            return None
+        return ("list_extend", (delta.base_rows, new_rows))
+
+    pool.ensure_loaded(
+        range(width), key, table.to_rows, pin=table,
+        version=table.version, extend=extend_rows,
+    )
     table.scan_count += 1
     messages: dict[int, tuple] = {}
     for worker, part in enumerate(split_round_robin(ordinals, width)):
@@ -759,14 +971,24 @@ def run_process_shared_memory_epoch(
     if num_examples == 0:
         return model, 0
 
-    workers = min(spec.workers, num_examples, pool.workers)
     staleness = spec.effective_staleness()
     order = None
     if row_order is not None:
         order = np.asarray(row_order, dtype=np.intp)
+    # The logical sequence is the order list itself (which may visit only a
+    # subset of rows — partial_fit's delta epochs do); without one it is the
+    # whole table.  Round-robin partitioning runs over logical positions,
+    # matching the cooperative in-process runner.
+    total_positions = len(order) if order is not None else num_examples
+    if total_positions == 0:
+        return model, 0
+    workers = min(spec.workers, total_positions, pool.workers)
 
     key = payload_key(table, task)
-    pool.ensure_loaded(range(workers), key, lambda: (examples, task), pin=task)
+    pool.ensure_loaded(
+        range(workers), key, lambda: (examples, task), pin=(table, task),
+        version=table.version, extend=examples_delta_builder(table, task, cache),
+    )
 
     if arena.exists(segment_name):
         arena.free(segment_name)
@@ -774,7 +996,7 @@ def run_process_shared_memory_epoch(
     try:
         messages: dict[int, tuple] = {}
         for worker in range(workers):
-            global_ordinals = np.arange(worker, num_examples, workers, dtype=np.intp)
+            global_ordinals = np.arange(worker, total_positions, workers, dtype=np.intp)
             example_ordinals = order[global_ordinals] if order is not None else global_ordinals
             if charge_per_worker is not None:
                 charge_per_worker()

@@ -296,9 +296,12 @@ class SupervisedWorkerPool(ProcessWorkerPool):
         """Re-ship every payload the respawned workers held, by key.
 
         Uses the pickled-bytes registry — nothing is re-built or re-pickled;
-        a rebuilt worker re-receives exactly the bytes the original got.  A
-        failure *during replay* recurses into ``_gather``/recovery, burning
-        further budget until it either heals or exhausts.
+        a rebuilt worker re-receives exactly the bytes the original got: the
+        full base payload first, then the append-delta chain *in version
+        order*, so a worker that was killed mid-shipment reconstructs the
+        same resident payload the originals hold.  A failure *during replay*
+        recurses into ``_gather``/recovery, burning further budget until it
+        either heals or exhausts.
         """
         replay: list[tuple[int, tuple]] = []
         for worker in targets:
@@ -306,15 +309,40 @@ class SupervisedWorkerPool(ProcessWorkerPool):
                 (key for (w, key) in self._loaded if w == worker), key=repr
             )
             for key in keys:
-                self._loaded.discard((worker, key))
+                self._loaded.pop((worker, key), None)
                 if key in self._payload_bytes:
                     replay.append((worker, key))
+        # Base round: every (worker, key) re-receives the full base bytes.
         for worker, key in replay:
+            record = self._payload_bytes[key]
             self._inflight[worker] = "load"
-            self._conns[worker].send(("load", key, self._payload_bytes[key]))
-        if replay:
-            self._gather([worker for worker, _ in replay])
-            self._loaded.update(replay)
+            self._conns[worker].send(("load", key, record.base_bytes))
+        if not replay:
+            return 0
+        # One reply is drained per *message*: workers holding several keys
+        # appear once per key, deliberately.
+        self._gather([worker for worker, _ in replay])
+        for worker, key in replay:
+            self._loaded[(worker, key)] = self._payload_bytes[key].base_version
+        # Delta rounds: walk each record's chain in order, one round per
+        # chain depth, so every extend lands on the payload state it was
+        # pickled against.
+        depth = 0
+        while True:
+            round_targets: list[tuple[int, tuple]] = []
+            for worker, key in replay:
+                record = self._payload_bytes[key]
+                if depth < len(record.deltas):
+                    to_version, mode, delta_bytes = record.deltas[depth]
+                    self._inflight[worker] = "extend"
+                    self._conns[worker].send(("extend", key, mode, delta_bytes))
+                    round_targets.append((worker, key))
+            if not round_targets:
+                break
+            self._gather([worker for worker, _ in round_targets])
+            for worker, key in round_targets:
+                self._loaded[(worker, key)] = self._payload_bytes[key].deltas[depth][0]
+            depth += 1
         return len(replay)
 
     def _record(self, event: RecoveryEvent) -> None:

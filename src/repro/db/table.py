@@ -11,6 +11,7 @@ RANDOM()``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -21,6 +22,58 @@ from .types import ColumnType, Row, Schema
 DEFAULT_PAGE_SIZE = 256
 #: Default number of rows per columnar chunk yielded by :meth:`Table.scan_chunks`.
 DEFAULT_CHUNK_SIZE = 4096
+
+#: How many ledger entries a table retains.  Version deltas that reach past
+#: the retained window classify as rewrites (the safe answer), so the bound
+#: only limits how far back *incremental* consumers can reach, never
+#: correctness.  Streaming workloads touch caches every few versions, so a
+#: few thousand entries is far more history than any consumer needs.
+DEFAULT_LEDGER_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded mutation: how the table moved to ``version``."""
+
+    version: int
+    #: ``"append"`` (rows added at the tail, existing rows untouched) or
+    #: ``"rewrite"`` (contents or physical order changed arbitrarily).
+    kind: str
+    #: Rows added by this mutation (0 for rewrites).
+    rows_added: int
+    #: Total rows after this mutation.
+    rows_after: int
+    #: The mutating operation, e.g. ``"insert_many"`` or ``"shuffle"``.
+    op: str
+
+
+@dataclass(frozen=True)
+class VersionDelta:
+    """Classification of the mutations between two versions of a table.
+
+    ``kind`` is one of:
+
+    * ``"same"`` — no mutations; the versions are equal.
+    * ``"append"`` — every mutation in the range appended rows at the tail;
+      rows ``[0, base_rows)`` are bit-identical to the old version and rows
+      ``[base_rows, base_rows + rows_added)`` are new.
+    * ``"rewrite"`` — at least one mutation rewrote contents or physical
+      order (or the ledger no longer covers the range); ``op`` names the
+      first rewriting operation when known.
+    """
+
+    kind: str
+    rows_added: int = 0
+    base_rows: int = 0
+    op: str | None = None
+
+    @property
+    def is_append(self) -> bool:
+        return self.kind == "append"
+
+    @property
+    def is_same(self) -> bool:
+        return self.kind == "same"
 
 #: Logical column types that materialise as typed (non-object) numpy arrays.
 _CHUNK_DTYPES = {
@@ -115,10 +168,65 @@ class Table:
         #: cluster) bumps it, so ``(name, version)`` identifies an exact table
         #: state and downstream example caches can never serve stale data.
         self._version = 0
+        #: Append-aware version ledger: one :class:`LedgerEntry` per bump,
+        #: newest last, bounded to ``ledger_capacity`` entries.  It records
+        #: *how* each version was reached (append vs rewrite) so downstream
+        #: layers can distinguish "the world grew" from "the world changed".
+        self._ledger: list[LedgerEntry] = []
+        self.ledger_capacity = DEFAULT_LEDGER_CAPACITY
 
     @property
     def version(self) -> int:
         return self._version
+
+    def _bump(self, kind: str, rows_added: int, op: str) -> None:
+        """Advance the version and record how it was reached in the ledger."""
+        self._version += 1
+        self._ledger.append(
+            LedgerEntry(
+                version=self._version,
+                kind=kind,
+                rows_added=rows_added,
+                rows_after=self._num_rows,
+                op=op,
+            )
+        )
+        if len(self._ledger) > self.ledger_capacity:
+            del self._ledger[: len(self._ledger) - self.ledger_capacity]
+
+    def ledger_entries(self, since_version: int = 0) -> list[LedgerEntry]:
+        """Retained ledger entries with ``version > since_version``, oldest first."""
+        return [entry for entry in self._ledger if entry.version > since_version]
+
+    def classify_delta(self, old_version: int) -> VersionDelta:
+        """Classify the mutations between ``old_version`` and the current version.
+
+        Returns an append delta only when the ledger proves every mutation in
+        the range appended rows at the tail; a range the retained ledger no
+        longer covers (or a nonsensical ``old_version``) classifies as a
+        rewrite, which is always safe — consumers fall back to a full rebuild.
+        """
+        if old_version == self._version:
+            return VersionDelta(kind="same", base_rows=self._num_rows)
+        if old_version > self._version:
+            return VersionDelta(kind="rewrite", op="unknown")
+        entries = self.ledger_entries(old_version)
+        covered = (
+            bool(entries)
+            and entries[0].version == old_version + 1
+            and entries[-1].version == self._version
+        )
+        if not covered:
+            return VersionDelta(kind="rewrite", op="unknown")
+        for entry in entries:
+            if entry.kind != "append":
+                return VersionDelta(kind="rewrite", op=entry.op)
+        rows_added = sum(entry.rows_added for entry in entries)
+        return VersionDelta(
+            kind="append",
+            rows_added=rows_added,
+            base_rows=self._num_rows - rows_added,
+        )
 
     # ------------------------------------------------------------------ write
     def insert(self, values: Sequence[Any] | Mapping[str, Any]) -> None:
@@ -129,7 +237,7 @@ class Table:
         self._pages[-1].append(row)
         self._num_rows += 1
         self.clustered_on = None
-        self._version += 1
+        self._bump("append", 1, "insert")
 
     def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
         """Insert many rows with batched page appends; returns the number inserted."""
@@ -146,7 +254,7 @@ class Table:
             self._pages.append(remaining[start:start + self.page_size])
         self._num_rows += len(coerced)
         self.clustered_on = None
-        self._version += 1
+        self._bump("append", len(coerced), "insert_many")
         return len(coerced)
 
     def truncate(self) -> None:
@@ -154,7 +262,7 @@ class Table:
         self._pages = []
         self._num_rows = 0
         self.clustered_on = None
-        self._version += 1
+        self._bump("rewrite", 0, "truncate")
 
     # ------------------------------------------------------------------- read
     def __len__(self) -> int:
@@ -230,6 +338,24 @@ class Table:
         # we never split pages, so this holds.
         return Row(self.schema, self._pages[page][offset])
 
+    def tail_values(self, start: int) -> list[tuple]:
+        """Raw value tuples of rows ``[start, len)`` in physical order.
+
+        The delta-decode read path: after an append-only version delta,
+        incremental consumers fetch exactly the new rows instead of
+        re-scanning the heap.  Valid because pages are never split — every
+        page except the last is exactly ``page_size`` rows.
+        """
+        if start <= 0:
+            return [values for page in self._pages for values in page]
+        if start >= self._num_rows:
+            return []
+        page_index, offset = divmod(start, self.page_size)
+        result = list(self._pages[page_index][offset:])
+        for page in self._pages[page_index + 1:]:
+            result.extend(page)
+        return result
+
     def column_values(self, column: str) -> list:
         """Materialise a single column in physical order."""
         index = self.schema.index_of(column)
@@ -241,20 +367,20 @@ class Table:
         return [Row(schema, values) for page in self._pages for values in page]
 
     # ------------------------------------------------------- physical reorder
-    def _replace_all(self, value_tuples: list[tuple]) -> None:
+    def _replace_all(self, value_tuples: list[tuple], *, op: str = "rewrite") -> None:
         pages: list[list[tuple]] = []
         for start in range(0, len(value_tuples), self.page_size):
             pages.append(list(value_tuples[start:start + self.page_size]))
         self._pages = pages
         self._num_rows = len(value_tuples)
-        self._version += 1
+        self._bump("rewrite", 0, op)
 
     def cluster_by(self, column: str, *, descending: bool = False) -> None:
         """Physically re-order the heap by a column (like SQL ``CLUSTER``)."""
         index = self.schema.index_of(column)
         all_rows = [values for page in self._pages for values in page]
         all_rows.sort(key=lambda values: values[index], reverse=descending)
-        self._replace_all(all_rows)
+        self._replace_all(all_rows, op="cluster_by")
         self.clustered_on = column
 
     def cluster_by_key(self, key: Callable[[Row], Any], *, label: str = "<callable>") -> None:
@@ -262,7 +388,7 @@ class Table:
         schema = self.schema
         all_rows = [values for page in self._pages for values in page]
         all_rows.sort(key=lambda values: key(Row(schema, values)))
-        self._replace_all(all_rows)
+        self._replace_all(all_rows, op="cluster_by_key")
         self.clustered_on = label
 
     def shuffle(self, rng: np.random.Generator | None = None, seed: int | None = None) -> None:
@@ -276,7 +402,7 @@ class Table:
             rng = np.random.default_rng(seed)
         all_rows = [values for page in self._pages for values in page]
         permutation = rng.permutation(len(all_rows))
-        self._replace_all([all_rows[i] for i in permutation])
+        self._replace_all([all_rows[i] for i in permutation], op="shuffle")
         self.clustered_on = None
 
     def copy(self, name: str | None = None) -> "Table":
@@ -286,6 +412,8 @@ class Table:
         clone._num_rows = self._num_rows
         clone.clustered_on = self.clustered_on
         clone._version = self._version
+        clone._ledger = list(self._ledger)
+        clone.ledger_capacity = self.ledger_capacity
         return clone
 
     # ------------------------------------------------------------ partitioning

@@ -42,6 +42,11 @@ from .parallelism import (
 )
 from .reporting import render_series, render_table
 from .scalability import ScalabilityResult, ScalabilityRow, run_scalability_experiment
+from .streaming import (
+    StreamingIngestResult,
+    StreamingRound,
+    run_streaming_ingest_experiment,
+)
 
 __all__ = [
     "BenchmarkComparisonResult",
@@ -60,6 +65,8 @@ __all__ = [
     "ScalabilityResult",
     "ScalabilityRow",
     "SpeedupResult",
+    "StreamingIngestResult",
+    "StreamingRound",
     "WholeLoopResult",
     "build_benchmark_datasets",
     "epochs_to_tolerance",
@@ -80,6 +87,7 @@ __all__ = [
     "run_parallel_convergence",
     "run_scalability_experiment",
     "run_speedup_experiment",
+    "run_streaming_ingest_experiment",
     "run_whole_loop_experiment",
     "time_callable",
     "time_to_tolerance",

@@ -1,0 +1,235 @@
+"""Streaming ingest: model refresh cost under continuous inserts.
+
+The incremental chunk plane (append-aware version ledger, delta decode,
+``partial_fit`` continuation) exists so that a model trained over a growing
+table can be refreshed at a cost proportional to the *delta*, not the table.
+This experiment measures exactly that claim.  A classification table takes
+``insert_rounds`` batches of appended rows; after every batch the model is
+refreshed two ways:
+
+* **incremental** — :meth:`~repro.core.driver.BismarckRunner.partial_fit`
+  continues the current model over just the appended rows (plus a periodic
+  full pass), with the example cache extending in place, so the decode-row
+  counter charges only the delta;
+* **full invalidation** — the pre-ledger world: every insert busts the cache,
+  so the refresh re-decodes the whole table and runs its epochs over every
+  row.
+
+Reported per round: rows decoded (the honest work counter — wall-clock on a
+table this size is noise-prone, decode rows are exact), refresh seconds, and
+the full-table objective of each refreshed model (freshness: the cheap
+refresh must not drift away from the expensive one).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.driver import BismarckRunner, IGDConfig
+from ..data import load_classification_table, make_dense_classification
+from ..db import Database
+from ..tasks.logistic_regression import LogisticRegressionTask
+from .harness import ExperimentScale, resolve_scale
+from .reporting import render_table
+
+
+@dataclass
+class StreamingRound:
+    """One insert batch and the two model refreshes that followed it."""
+
+    round_index: int
+    rows_added: int
+    rows_total: int
+    incremental_decoded_rows: int
+    baseline_decoded_rows: int
+    incremental_seconds: float
+    baseline_seconds: float
+    incremental_objective: float
+    baseline_objective: float
+
+
+@dataclass
+class StreamingIngestResult:
+    """Incremental vs full-invalidation refresh over a continuous-insert feed."""
+
+    base_rows: int
+    rows_per_round: int
+    insert_rounds: int
+    delta_epochs: int
+    full_pass_every: int
+    rounds: list[StreamingRound] = field(default_factory=list)
+    #: Example-cache extension events observed on the incremental side —
+    #: each one is an append delta absorbed without a full re-decode.
+    cache_extensions: int = 0
+
+    @property
+    def incremental_decoded_total(self) -> int:
+        return sum(r.incremental_decoded_rows for r in self.rounds)
+
+    @property
+    def baseline_decoded_total(self) -> int:
+        return sum(r.baseline_decoded_rows for r in self.rounds)
+
+    @property
+    def decode_ratio(self) -> float:
+        """Incremental decode work as a fraction of the full-invalidation one."""
+        baseline = self.baseline_decoded_total
+        return self.incremental_decoded_total / baseline if baseline else 0.0
+
+    @property
+    def freshness_gap(self) -> float:
+        """Final-round objective gap: incremental minus baseline (full-table)."""
+        if not self.rounds:
+            return 0.0
+        last = self.rounds[-1]
+        return last.incremental_objective - last.baseline_objective
+
+    def render(self) -> str:
+        rows = [
+            (
+                str(r.round_index),
+                str(r.rows_total),
+                f"{r.incremental_decoded_rows} / {r.baseline_decoded_rows}",
+                f"{r.incremental_seconds:.4f}s / {r.baseline_seconds:.4f}s",
+                f"{r.incremental_objective:.5g} / {r.baseline_objective:.5g}",
+            )
+            for r in self.rounds
+        ]
+        return render_table(
+            ["Round", "Rows", "Decoded inc/full", "Refresh inc/full", "Objective inc/full"],
+            rows,
+            title=(
+                f"Streaming ingest ({self.insert_rounds} x {self.rows_per_round} rows onto "
+                f"{self.base_rows}; decode ratio {self.decode_ratio:.3f}, "
+                f"{self.cache_extensions} cache extensions, "
+                f"freshness gap {self.freshness_gap:+.4g})"
+            ),
+        )
+
+    def bench_payload(self) -> dict:
+        return {
+            "base_rows": self.base_rows,
+            "rows_per_round": self.rows_per_round,
+            "insert_rounds": self.insert_rounds,
+            "delta_epochs": self.delta_epochs,
+            "full_pass_every": self.full_pass_every,
+            "incremental_decoded_rows": self.incremental_decoded_total,
+            "baseline_decoded_rows": self.baseline_decoded_total,
+            "decode_ratio": round(self.decode_ratio, 4),
+            "incremental_seconds": round(sum(r.incremental_seconds for r in self.rounds), 4),
+            "baseline_seconds": round(sum(r.baseline_seconds for r in self.rounds), 4),
+            "cache_extensions": self.cache_extensions,
+            "freshness_gap": round(self.freshness_gap, 6),
+            "final_incremental_objective": round(self.rounds[-1].incremental_objective, 6)
+            if self.rounds
+            else None,
+            "final_baseline_objective": round(self.rounds[-1].baseline_objective, 6)
+            if self.rounds
+            else None,
+        }
+
+
+def run_streaming_ingest_experiment(
+    scale: ExperimentScale | str | None = None,
+    *,
+    insert_rounds: int = 4,
+    rows_per_round: int | None = None,
+    delta_epochs: int = 3,
+    full_pass_every: int = 3,
+    seed: int = 0,
+) -> StreamingIngestResult:
+    """Feed insert batches into two identical databases and refresh both ways.
+
+    Both sides start from the same trained model over the same base table and
+    see the identical insert stream.  The incremental side shares one task
+    instance across rounds (the cache keys decoded entries on it) and calls
+    ``partial_fit`` from the persisted version watermark; the baseline side
+    uses a fresh task instance per round, which is precisely the
+    full-invalidation world — every refresh decodes the whole table cold —
+    and retrains over all rows, warm-started from its own current model.
+    """
+    scale = resolve_scale(scale)
+    dimension = min(scale.dense_dimension, 20)
+    base_rows = max(scale.dense_examples // 2, 40)
+    rows_per_round = rows_per_round or max(base_rows // 8, 5)
+
+    base = make_dense_classification(base_rows, dimension, seed=21)
+    stream = make_dense_classification(insert_rounds * rows_per_round, dimension, seed=22)
+
+    def fresh_db() -> Database:
+        db = Database("postgres", seed=seed)
+        load_classification_table(db, "stream", base.examples)
+        return db
+
+    def row_tuples(start: int, examples) -> list[tuple]:
+        return [(start + i, ex.features, ex.label) for i, ex in enumerate(examples)]
+
+    config = IGDConfig(max_epochs=delta_epochs, ordering="shuffle_once", seed=seed)
+
+    inc_db, full_db = fresh_db(), fresh_db()
+    inc_task = LogisticRegressionTask(dimension, mu=0.01)
+    inc_runner = BismarckRunner(inc_db, inc_task, config)
+
+    warm = inc_runner.train("stream")
+    inc_model, inc_version = warm.model, warm.table_version
+    # The baseline starts from the same trained model, so from round one the
+    # only difference between the two sides is the refresh strategy.
+    full_model = warm.model.copy()
+
+    result = StreamingIngestResult(
+        base_rows=base_rows,
+        rows_per_round=rows_per_round,
+        insert_rounds=insert_rounds,
+        delta_epochs=delta_epochs,
+        full_pass_every=full_pass_every,
+    )
+    inc_cache = inc_db.executor.example_cache
+    full_cache = full_db.executor.example_cache
+    extensions_before = inc_cache.extensions
+
+    for round_index in range(insert_rounds):
+        start = base_rows + round_index * rows_per_round
+        batch = row_tuples(start, stream.examples[round_index * rows_per_round:(round_index + 1) * rows_per_round])
+        inc_db.insert("stream", batch)
+        full_db.insert("stream", batch)
+
+        decoded_mark = inc_cache.decoded_rows
+        tick = time.perf_counter()
+        refreshed = inc_runner.partial_fit(
+            "stream",
+            initial_model=inc_model,
+            since_version=inc_version,
+            full_pass_every=full_pass_every,
+        )
+        inc_seconds = time.perf_counter() - tick
+        inc_model, inc_version = refreshed.model, refreshed.table_version
+        inc_decoded = inc_cache.decoded_rows - decoded_mark
+
+        # Fresh task instance per round: no cache entry survives, the refresh
+        # decodes the whole table — the pre-ledger invalidation behaviour.
+        full_task = LogisticRegressionTask(dimension, mu=0.01)
+        full_runner = BismarckRunner(full_db, full_task, config)
+        decoded_mark = full_cache.decoded_rows
+        tick = time.perf_counter()
+        retrained = full_runner.train("stream", initial_model=full_model)
+        full_seconds = time.perf_counter() - tick
+        full_model = retrained.model
+        full_decoded = full_cache.decoded_rows - decoded_mark
+
+        result.rounds.append(
+            StreamingRound(
+                round_index=round_index,
+                rows_added=len(batch),
+                rows_total=len(inc_db.table("stream")),
+                incremental_decoded_rows=inc_decoded,
+                baseline_decoded_rows=full_decoded,
+                incremental_seconds=inc_seconds,
+                baseline_seconds=full_seconds,
+                incremental_objective=refreshed.final_objective,
+                baseline_objective=retrained.final_objective,
+            )
+        )
+
+    result.cache_extensions = inc_cache.extensions - extensions_before
+    return result

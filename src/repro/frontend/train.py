@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+import numpy as np
+
 from ..core.driver import BismarckRunner, IGDConfig
 from ..db.engine import Database
 from ..db.parallel import SegmentedDatabase
@@ -24,10 +26,13 @@ from ..tasks.lasso import LassoTask
 from ..tasks.logistic_regression import LogisticRegressionTask
 from ..tasks.matrix_factorization import LowRankMatrixFactorizationTask
 from ..tasks.svm import SVMTask
-from .models import save_model
+from .models import load_model, model_exists, save_model, trained_source
 
 DEFAULT_EPOCHS = 10
 DEFAULT_STEP_SIZE = {"kind": "epoch_decay", "alpha0": 0.1, "decay": 0.95}
+#: During incremental continuation, run one pass over the whole table every
+#: this many delta epochs so old rows keep influencing the refreshed model.
+DEFAULT_FULL_PASS_EVERY = 4
 
 
 def _catalog(database) -> Database:
@@ -49,12 +54,52 @@ def _infer_feature_dimension(table, feature_column: str) -> int:
     return dimension
 
 
+def _warm_start(database, task, table_name: str, model_name: str):
+    """A ``(model, since_version)`` continuation point, or ``None``.
+
+    Retraining an existing model over the same (possibly grown) table
+    continues from the persisted watermark instead of starting cold — the
+    driver's :meth:`~repro.core.driver.BismarckRunner.partial_fit` then
+    decides, from the table's ledger, whether the delta is append-only
+    (incremental epochs) or a rewrite (full retrain).  A dimension change
+    (e.g. appended rows widened the feature space) disqualifies the warm
+    model: its arrays no longer match the task.
+    """
+    catalog = _catalog(database)
+    if not model_exists(catalog, model_name):
+        return None
+    source = trained_source(catalog, model_name)
+    if source is None or source[0] != table_name.lower():
+        return None
+    model = load_model(catalog, model_name)
+    probe = task.initial_model(np.random.default_rng(0))
+    if model.component_names() != probe.component_names() or any(
+        model[name].shape != probe[name].shape for name in probe.component_names()
+    ):
+        return None
+    return model, source[1]
+
+
 def _train_and_persist(database, task, table_name: str, model_name: str, config: IGDConfig) -> str:
     runner = BismarckRunner(database, task, config)
-    result = runner.train(table_name)
-    save_model(database, model_name, result.model)
+    warm = _warm_start(database, task, table_name, model_name)
+    if warm is not None:
+        result = runner.partial_fit(
+            table_name,
+            initial_model=warm[0],
+            since_version=warm[1],
+            full_pass_every=DEFAULT_FULL_PASS_EVERY,
+        )
+        mode = "continued" if result.ordering_name.startswith("delta") else "retrained"
+    else:
+        result = runner.train(table_name)
+        mode = "trained"
+    save_model(
+        database, model_name, result.model,
+        source_table=table_name, table_version=result.table_version,
+    )
     return (
-        f"model '{model_name}' trained with {task.name}: "
+        f"model '{model_name}' {mode} with {task.name}: "
         f"epochs={result.epochs_run}, objective={result.final_objective:.6g}"
     )
 
@@ -72,13 +117,29 @@ def install_frontend(database: Database | SegmentedDatabase) -> None:
     """Register the training and prediction SQL functions on ``database``."""
     catalog = _catalog(database)
 
+    # The example cache keys decoded entries on the task *instance*, so a
+    # retrain must reuse the exact task object to extend cached chunks
+    # incrementally instead of re-decoding the table.  Memoise tasks on
+    # their full parameterisation — a dimension change (appended rows
+    # widened the feature space) naturally maps to a fresh task.
+    task_cache: dict[tuple, Any] = {}
+
+    def _cached_task(key: tuple, build):
+        task = task_cache.get(key)
+        if task is None:
+            task = task_cache[key] = build()
+        return task
+
     def lr_train(model_name: str, table_name: str, feature_column: str, label_column: str,
                  step_size: float | None = None, epochs: int | None = None,
                  mu: float = 0.0) -> str:
         table = catalog.table(table_name)
         dimension = _infer_feature_dimension(table, feature_column)
-        task = LogisticRegressionTask(
-            dimension, mu=mu, feature_column=feature_column, label_column=label_column
+        task = _cached_task(
+            ("lr", dimension, mu, feature_column, label_column),
+            lambda: LogisticRegressionTask(
+                dimension, mu=mu, feature_column=feature_column, label_column=label_column
+            ),
         )
         return _train_and_persist(database, task, table_name, model_name, _config(step_size, epochs))
 
@@ -87,8 +148,11 @@ def install_frontend(database: Database | SegmentedDatabase) -> None:
                   mu: float = 0.0) -> str:
         table = catalog.table(table_name)
         dimension = _infer_feature_dimension(table, feature_column)
-        task = SVMTask(
-            dimension, mu=mu, feature_column=feature_column, label_column=label_column
+        task = _cached_task(
+            ("svm", dimension, mu, feature_column, label_column),
+            lambda: SVMTask(
+                dimension, mu=mu, feature_column=feature_column, label_column=label_column
+            ),
         )
         return _train_and_persist(database, task, table_name, model_name, _config(step_size, epochs))
 
@@ -97,8 +161,11 @@ def install_frontend(database: Database | SegmentedDatabase) -> None:
                     epochs: int | None = None) -> str:
         table = catalog.table(table_name)
         dimension = _infer_feature_dimension(table, feature_column)
-        task = LassoTask(
-            dimension, mu=mu, feature_column=feature_column, label_column=label_column
+        task = _cached_task(
+            ("lasso", dimension, mu, feature_column, label_column),
+            lambda: LassoTask(
+                dimension, mu=mu, feature_column=feature_column, label_column=label_column
+            ),
         )
         return _train_and_persist(database, task, table_name, model_name, _config(step_size, epochs))
 
@@ -109,14 +176,17 @@ def install_frontend(database: Database | SegmentedDatabase) -> None:
         table = catalog.table(table_name)
         num_rows = max(int(row[row_column]) for row in table.scan()) + 1
         num_cols = max(int(row[col_column]) for row in table.scan()) + 1
-        task = LowRankMatrixFactorizationTask(
-            num_rows,
-            num_cols,
-            rank=int(rank),
-            mu=mu,
-            row_column=row_column,
-            col_column=col_column,
-            value_column=value_column,
+        task = _cached_task(
+            ("lmf", num_rows, num_cols, int(rank), mu, row_column, col_column, value_column),
+            lambda: LowRankMatrixFactorizationTask(
+                num_rows,
+                num_cols,
+                rank=int(rank),
+                mu=mu,
+                row_column=row_column,
+                col_column=col_column,
+                value_column=value_column,
+            ),
         )
         effective_step = step_size if step_size is not None else 0.05
         return _train_and_persist(
@@ -138,11 +208,14 @@ def install_frontend(database: Database | SegmentedDatabase) -> None:
                 if features:
                     max_feature = max(max_feature, max(features))
             max_label = max(max_label, max(example.labels))
-        task = ConditionalRandomFieldTask(
-            max_feature + 1,
-            max_label + 1,
-            features_column=tokens_column,
-            labels_column=labels_column,
+        task = _cached_task(
+            ("crf", max_feature + 1, max_label + 1, tokens_column, labels_column),
+            lambda: ConditionalRandomFieldTask(
+                max_feature + 1,
+                max_label + 1,
+                features_column=tokens_column,
+                labels_column=labels_column,
+            ),
         )
         return _train_and_persist(database, task, table_name, model_name, _config(step_size, epochs))
 

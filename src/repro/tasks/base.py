@@ -314,6 +314,17 @@ class ExampleCache:
     (insert, shuffle, cluster, truncate) invalidates stale batches on the next
     lookup.  Unbatchable (table, task) pairs are negatively cached so the
     fallback decision is also O(1) per epoch.
+
+    **Incremental extension.**  When a stale entry's version delta classifies
+    as append-only in the table's ledger, the cache does not invalidate:
+    it decodes only the new tail rows, re-chunks them onto the cached chunk
+    list (preserving the global ``chunk_size`` alignment the gather paths
+    rely on), and stores the extended payload at the new version.  The
+    extension kernels (``concat`` + ``take``) preserve exact float values, so
+    an extended cache is bit-for-bit identical to a cold decode at the same
+    version.  Rewrites (shuffle, cluster, truncate) keep full invalidation.
+    ``decoded_rows`` counts every row actually decoded, so streaming
+    workloads can assert the incremental path only pays for the delta.
     """
 
     def __init__(self, max_entries: int = 32):
@@ -329,6 +340,27 @@ class ExampleCache:
         # when selections are being resolved alongside.
         self.derived_hits = 0
         self.derived_misses = 0
+        #: Number of stale lookups served by extending the cached payload
+        #: with a delta decode instead of rebuilding it from scratch.
+        self.extensions = 0
+        #: Total rows decoded (full rebuilds + delta extensions).  The
+        #: streaming bench asserts this only grows by the delta under
+        #: append-only traffic.
+        self.decoded_rows = 0
+
+    def _append_delta(self, entry: "_CacheEntry | None", table: "Table"):
+        """The entry's append-only delta to the current version, or ``None``.
+
+        ``None`` means the entry cannot be extended (no entry, different
+        table object, negatively-cached payload, or a rewrite delta) and the
+        caller must rebuild from scratch.
+        """
+        if entry is None or entry.payload is None or entry.table_ref() is not table:
+            return None
+        delta = table.classify_delta(entry.version)
+        if not delta.is_append:
+            return None
+        return delta
 
     def batches_for(
         self, table: "Table", task: "Task", chunk_size: int
@@ -343,6 +375,15 @@ class ExampleCache:
             self.hits += 1
             self._touch(key)
             return entry.payload
+        delta = self._append_delta(entry, table)
+        if delta is not None:
+            extended = self._extend_batches(
+                entry.payload, table, task, chunk_size, delta
+            )
+            if extended is not None:
+                self.extensions += 1
+                self._store(key, entry, table, version, extended, task)
+                return extended
         self.misses += 1
         batches: list[ExampleBatch] | None = []
         for chunk in table.iter_chunks(chunk_size):
@@ -351,8 +392,65 @@ class ExampleCache:
                 batches = None
                 break
             batches.append(batch)
+        if batches is not None:
+            self.decoded_rows += len(table)
         self._store(key, entry, table, version, batches, task)
         return batches
+
+    def _extend_batches(
+        self,
+        cached: "list[ExampleBatch]",
+        table: "Table",
+        task: "Task",
+        chunk_size: int,
+        delta,
+    ) -> "list[ExampleBatch] | None":
+        """Extend a cached chunk list with decoded delta rows, or ``None``.
+
+        Keeps every full cached chunk as-is, then rebuilds the tail by
+        concatenating the cached partial chunk (already decoded — its float
+        values are reused bit-for-bit) with the newly decoded rows and
+        slicing the result back into globally ``chunk_size``-aligned blocks,
+        which is the alignment contract ``gather_batches`` depends on.
+        Returns ``None`` when the delta rows fail to decode or decode to an
+        incompatible batch kind; the caller falls back to a full rebuild.
+        """
+        from ..db.table import TableChunk
+
+        base_rows = delta.base_rows
+        if sum(len(batch) for batch in cached) != base_rows:
+            return None
+        new_values = table.tail_values(base_rows)
+        if len(new_values) != delta.rows_added:
+            return None
+        new_chunk = TableChunk(
+            table.schema,
+            new_values,
+            table_name=table.name,
+            table_version=table.version,
+            start=base_rows,
+        )
+        new_batch = task.batch_from_chunk(new_chunk)
+        if new_batch is None:
+            return None
+        full_chunks, tail_rows = divmod(base_rows, chunk_size)
+        extended = list(cached[:full_chunks])
+        if tail_rows:
+            old_tail = cached[full_chunks]
+            if getattr(old_tail, "kind", None) != getattr(new_batch, "kind", None):
+                return None
+            merged = type(old_tail).concat([old_tail, new_batch])
+        else:
+            merged = new_batch
+        merged_len = len(merged)
+        if merged_len <= chunk_size:
+            extended.append(merged)
+        else:
+            for start in range(0, merged_len, chunk_size):
+                stop = min(start + chunk_size, merged_len)
+                extended.append(merged.take(np.arange(start, stop, dtype=np.intp)))
+        self.decoded_rows += delta.rows_added
+        return extended
 
     def examples_for(self, table: "Table", task: "Task") -> list:
         """Cached decoded examples (``task.example_from_row`` over the heap).
@@ -361,7 +459,8 @@ class ExampleCache:
         row into an example is the base Task contract — so per-example
         backends (the shared-memory epoch) can serve any workload from the
         cache.  Entries share the table/version/task key scheme with the
-        columnar batches and are invalidated identically.
+        columnar batches and are invalidated identically; append-only deltas
+        extend the cached list with the decoded tail rows only.
         """
         key = (table.name, id(task), "examples")
         version = table.version
@@ -370,12 +469,25 @@ class ExampleCache:
             self.hits += 1
             self._touch(key)
             return entry.payload
+        delta = self._append_delta(entry, table)
+        if delta is not None and len(entry.payload) == delta.base_rows:
+            schema = table.schema
+            new_examples = [
+                task.example_from_row(Row(schema, values))
+                for values in table.tail_values(delta.base_rows)
+            ]
+            examples = entry.payload + new_examples
+            self.extensions += 1
+            self.decoded_rows += delta.rows_added
+            self._store(key, entry, table, version, examples, task)
+            return examples
         self.misses += 1
         examples = [task.example_from_row(row) for row in table.to_rows()]
+        self.decoded_rows += len(examples)
         self._store(key, entry, table, version, examples, task)
         return examples
 
-    def derived_for(self, table: "Table", key: tuple, pin: Any, build) -> Any:
+    def derived_for(self, table: "Table", key: tuple, pin: Any, build, extend=None) -> Any:
         """Cache an arbitrary per-version artefact derived from ``table``.
 
         ``key`` identifies the artefact (selection vectors, gathered chunk
@@ -383,6 +495,11 @@ class ExampleCache:
         batches but keep their own hit/miss counters, so decode statistics
         stay meaningful.  ``pin`` keeps any identity-keyed objects alive for
         the entry's lifetime so their ``id()`` cannot be recycled.
+
+        ``extend``, when given, is called as ``extend(old_payload, delta)``
+        for stale entries whose ledger delta is append-only; returning a
+        non-``None`` payload stores it at the new version without running
+        ``build`` (returning ``None`` falls back to a full rebuild).
         """
         full_key = (table.name, "derived") + tuple(key)
         version = table.version
@@ -391,6 +508,14 @@ class ExampleCache:
             self.derived_hits += 1
             self._touch(full_key)
             return entry.payload
+        if extend is not None:
+            delta = self._append_delta(entry, table)
+            if delta is not None:
+                payload = extend(entry.payload, delta)
+                if payload is not None:
+                    self.extensions += 1
+                    self._store(full_key, entry, table, version, payload, pin)
+                    return payload
         self.derived_misses += 1
         payload = build()
         self._store(full_key, entry, table, version, payload, pin)
@@ -460,7 +585,24 @@ class ExampleCache:
                 count=len(table),
             )
 
-        return self.derived_for(table, key, (predicate, bindings), build)
+        def extend(old_mask: np.ndarray, delta) -> np.ndarray | None:
+            # Append-only delta: the predicate is deterministic and rows
+            # [0, base_rows) are untouched, so evaluate it on the new tail
+            # rows only and concatenate onto the cached mask.
+            if old_mask.shape[0] != delta.base_rows:
+                return None
+            schema = table.schema
+            tail = np.fromiter(
+                (
+                    bool(predicate.evaluate(Row(schema, values), function_map))
+                    for values in table.tail_values(delta.base_rows)
+                ),
+                dtype=np.bool_,
+                count=delta.rows_added,
+            )
+            return np.concatenate([old_mask, tail])
+
+        return self.derived_for(table, key, (predicate, bindings), build, extend=extend)
 
     def _touch(self, key: tuple) -> None:
         """Move an entry to the back of the eviction order (LRU on hit).
@@ -475,6 +617,10 @@ class ExampleCache:
         self, key: tuple, entry: "_CacheEntry | None", table: "Table",
         version: int, payload: Any, task: "Task",
     ) -> None:
+        # Pop before re-assigning so refreshed entries (extensions, rebuilds
+        # of a stale key) move to the back of the eviction order — true LRU
+        # by last touch, not by first insertion.
+        self._entries.pop(key, None)
         if entry is None and len(self._entries) >= self.max_entries:
             oldest = next(iter(self._entries))
             del self._entries[oldest]

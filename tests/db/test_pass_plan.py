@@ -99,6 +99,91 @@ class TestCompilePass:
                 SerialBackend(database).run(plan)
 
 
+def _compile_kind(kind, table, task):
+    """A minimal plan of every PASS_KINDS member for revalidation tests."""
+    from repro.core.stepsize import make_schedule
+    from repro.db.pass_plan import TrainEpochContext
+
+    if kind == "train":
+        return compile_pass(
+            "train",
+            table,
+            lambda: IGDAggregate(task, 0.1),
+            train=TrainEpochContext(
+                task=task,
+                model=task.initial_model(),
+                schedule=make_schedule(0.1),
+                proximal=task.proximal,
+            ),
+        )
+    factories = {
+        "loss": lambda: LossAggregate(task, task.initial_model()),
+        "accuracy": lambda: AccuracyAggregate(task, task.initial_model()),
+        "generic": lambda: FunctionalAggregate(
+            initialize=int, transition=lambda s, v: s + 1, merge=lambda a, b: a + b
+        ),
+    }
+    return compile_pass(kind, table, factories[kind])
+
+
+class TestRevalidate:
+    """The append-aware version contract: every pass kind refreshes across
+    append deltas and refuses rewrites with the ledger's mutating op named."""
+
+    KINDS = ("train", "loss", "accuracy", "generic")
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_append_delta_refreshes_plan_in_place(self, kind, workload):
+        dataset, task = workload
+        with make_database(dataset) as database:
+            table = database.table("pts")
+            plan = _compile_kind(kind, table, task)
+            compiled_version, compiled_rows = plan.version, plan.num_rows
+            table.insert((900, {0: 1.0}, 1.0))
+            table.insert_many([(901, {1: 1.0}, -1.0), (902, {2: 1.0}, 1.0)])
+            assert plan.revalidate() is plan
+            assert plan.version == table.version > compiled_version
+            assert plan.num_rows == len(table) == compiled_rows + 3
+            # Idempotent once refreshed.
+            plan.check_version()
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize(
+        "mutate, operation",
+        [
+            (lambda table: table.shuffle(np.random.default_rng(0)), "shuffle"),
+            (lambda table: table.truncate(), "truncate"),
+        ],
+        ids=["shuffle", "truncate"],
+    )
+    def test_rewrite_delta_refused_naming_ledger_op(
+        self, kind, mutate, operation, workload
+    ):
+        dataset, task = workload
+        with make_database(dataset) as database:
+            table = database.table("pts")
+            plan = _compile_kind(kind, table, task)
+            mutate(table)
+            with pytest.raises(
+                ExecutionError,
+                match=rf"stale PassPlan.*rewritten by '{operation}'",
+            ):
+                plan.revalidate()
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_append_then_rewrite_still_refused(self, kind, workload):
+        """A rewrite anywhere in the version range poisons the whole delta."""
+        dataset, task = workload
+        with make_database(dataset) as database:
+            table = database.table("pts")
+            plan = _compile_kind(kind, table, task)
+            table.insert((900, {0: 1.0}, 1.0))
+            table.shuffle(np.random.default_rng(0))
+            table.insert((901, {1: 1.0}, -1.0))
+            with pytest.raises(ExecutionError, match="rewritten by 'shuffle'"):
+                plan.check_version()
+
+
 class TestProcessLossAccuracyParity:
     def test_chunk_partitioned_loss_bit_for_bit_vs_serial_plan(self, workload):
         """Process chunk partitions == the serial backend on the same plan."""

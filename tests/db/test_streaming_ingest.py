@@ -1,0 +1,409 @@
+"""Incremental chunk plane end-to-end: ingest, delta decode, continuation.
+
+The ISSUE-7 acceptance bars:
+
+* **bit-for-bit parity** — an incrementally-extended example cache produces
+  models identical to a cold decode at the same final version, on every
+  backend whose execution is deterministic (serial, cooperative shared
+  memory, segmented in-process, segmented process, single-worker process
+  shared memory);
+* **delta-only decode** — the decode-row counter charges appends for the
+  appended rows only, across K batches and N single-row point inserts;
+* **chaos during delta shipping** — a worker killed mid-``extend`` respawns,
+  replays base + delta chain, and the retried pass still matches the clean
+  run exactly, with zero leaked ``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.driver import BismarckRunner, IGDConfig
+from repro.core.parallel import PureUDAParallelism, SharedMemoryParallelism
+from repro.data import load_classification_table, make_dense_classification
+from repro.db import Database, FaultPlan, SegmentedDatabase
+from repro.db.supervisor import RecoveryPolicy
+from repro.experiments import run_streaming_ingest_experiment
+from repro.frontend import install_frontend
+from repro.frontend.models import load_model, trained_source
+from repro.tasks.logistic_regression import LogisticRegressionTask
+
+DIMENSION = 6
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    base = make_dense_classification(96, DIMENSION, seed=5)
+    stream = make_dense_classification(36, DIMENSION, seed=6)
+    return base, stream
+
+
+def _rows(start, examples):
+    return [(start + i, ex.features, ex.label) for i, ex in enumerate(examples)]
+
+
+def _delta_batches(stream, start=96, batches=2):
+    per = len(stream.examples) // batches
+    return [
+        _rows(start + i * per, stream.examples[i * per:(i + 1) * per])
+        for i in range(batches)
+    ]
+
+
+def _engine(db):
+    return db.master if isinstance(db, SegmentedDatabase) else db
+
+
+def _shm_entries() -> set[str]:
+    return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+
+
+# ---------------------------------------------------------------------------
+# Bit-for-bit parity: extended cache vs cold decode, every deterministic path
+# ---------------------------------------------------------------------------
+BACKENDS = {
+    "serial": (lambda: Database("postgres", seed=0), None),
+    "shared_memory": (
+        lambda: Database("postgres", seed=0),
+        SharedMemoryParallelism(workers=2, scheme="nolock"),
+    ),
+    "segmented": (
+        lambda: SegmentedDatabase(3, "dbms_b", seed=0),
+        PureUDAParallelism(),
+    ),
+    "segmented_process": (
+        lambda: SegmentedDatabase(3, "dbms_b", seed=0),
+        PureUDAParallelism(backend="process"),
+    ),
+    "process_shmem": (
+        lambda: Database("postgres", seed=0),
+        SharedMemoryParallelism(workers=1, scheme="nolock", backend="process"),
+    ),
+}
+
+
+class TestExtendedCacheParity:
+    @pytest.mark.backends
+    @pytest.mark.parametrize("backend", sorted(BACKENDS), ids=sorted(BACKENDS))
+    def test_extension_bit_for_bit_with_cold_decode(self, backend, corpus):
+        """Warm (train → K appends → partial_fit over extended cache) equals
+        cold (same final table, empty cache) on every deterministic backend."""
+        base, stream = corpus
+        db_factory, spec = BACKENDS[backend]
+        config = IGDConfig(max_epochs=2, ordering="shuffle_once", seed=0, parallelism=spec)
+        task = LogisticRegressionTask(DIMENSION, mu=0.01)
+
+        def build():
+            db = db_factory()
+            load_classification_table(db, "pts", base.examples)
+            return db, BismarckRunner(db, task, config)
+
+        warm_db, warm_runner = build()
+        try:
+            trained = warm_runner.train("pts")
+            cache = _engine(warm_db).executor.example_cache
+            extensions_before = cache.extensions
+            for batch in _delta_batches(stream):
+                warm_db.insert("pts", batch)
+            warm = warm_runner.partial_fit(
+                "pts",
+                initial_model=trained.model,
+                since_version=trained.table_version,
+                full_pass_every=2,
+            )
+            assert cache.extensions > extensions_before  # extension really ran
+            assert warm.ordering_name == f"delta[{len(stream.examples)}]"
+        finally:
+            _engine(warm_db).close()
+
+        cold_db, cold_runner = build()
+        try:
+            for batch in _delta_batches(stream):
+                cold_db.insert("pts", batch)
+            cold = cold_runner.partial_fit(
+                "pts",
+                initial_model=trained.model,
+                since_version=trained.table_version,
+                full_pass_every=2,
+            )
+        finally:
+            _engine(cold_db).close()
+
+        assert np.array_equal(
+            warm.model.as_flat_vector(), cold.model.as_flat_vector()
+        )
+        assert warm.table_version == cold.table_version
+        assert multiprocessing.active_children() == []
+
+
+# ---------------------------------------------------------------------------
+# Delta decode accounting
+# ---------------------------------------------------------------------------
+class TestDeltaDecode:
+    def test_k_append_batches_decode_only_the_delta(self, corpus):
+        base, stream = corpus
+        db = Database("postgres", seed=0)
+        load_classification_table(db, "pts", base.examples)
+        task = LogisticRegressionTask(DIMENSION, mu=0.01)
+        runner = BismarckRunner(db, task, IGDConfig(max_epochs=2, seed=0))
+        cache = db.executor.example_cache
+
+        trained = runner.train("pts")
+        assert cache.decoded_rows == len(base.examples)
+        model, version = trained.model, trained.table_version
+        batches = _delta_batches(stream, batches=3)
+        for batch in batches:
+            db.insert("pts", batch)
+            refreshed = runner.partial_fit(
+                "pts", initial_model=model, since_version=version
+            )
+            model, version = refreshed.model, refreshed.table_version
+        # Every row decoded exactly once, appends charged delta-only.
+        assert cache.decoded_rows == len(base.examples) + len(stream.examples)
+        assert cache.extensions >= len(batches)
+
+    def test_point_inserts_cost_one_row_each_not_a_rescan(self, corpus):
+        """Satellite micro-bench: N single-row inserts decode N rows, not
+        N full re-decodes of the table."""
+        base, _ = corpus
+        db = Database("postgres", seed=0)
+        load_classification_table(db, "pts", base.examples)
+        task = LogisticRegressionTask(DIMENSION, mu=0.01)
+        table = db.table("pts")
+        cache = db.executor.example_cache
+        chunk_size = db.executor.chunk_size
+
+        assert cache.batches_for(table, task, chunk_size) is not None
+        baseline = cache.decoded_rows
+        inserts = 12
+        for i in range(inserts):
+            table.insert((1000 + i, [float(i)] * DIMENSION, 1.0))
+            entry = table.ledger_entries()[-1]
+            assert entry.kind == "append" and entry.op == "insert"
+            assert cache.batches_for(table, task, chunk_size) is not None
+        decoded = cache.decoded_rows - baseline
+        assert decoded == inserts  # one row per point insert...
+        # ...whereas full invalidation would have re-read the table each time.
+        assert decoded < inserts * len(table)
+        assert sum(len(b) for b in cache.batches_for(table, task, chunk_size)) == len(table)
+
+    def test_selection_vectors_extend_across_appends(self, corpus):
+        base, stream = corpus
+        db = Database("postgres", seed=0)
+        load_classification_table(db, "pts", base.examples)
+        db.execute("SELECT COUNT(*) FROM pts WHERE label > 0")
+        table = db.table("pts")
+        positive_before = db.execute(
+            "SELECT COUNT(*) FROM pts WHERE label > 0"
+        ).scalar()
+        batch = _rows(len(table), stream.examples[:10])
+        db.insert("pts", batch)
+        positive_after = db.execute(
+            "SELECT COUNT(*) FROM pts WHERE label > 0"
+        ).scalar()
+        added_positive = sum(1 for ex in stream.examples[:10] if ex.label > 0)
+        assert positive_after == positive_before + added_positive
+
+
+# ---------------------------------------------------------------------------
+# Cache eviction guard (Database(cache_entries=...))
+# ---------------------------------------------------------------------------
+class TestCacheEvictionGuard:
+    def test_cache_entries_knob_reaches_the_example_cache(self, corpus):
+        base, _ = corpus
+        db = Database("postgres", seed=0, cache_entries=2)
+        assert db.executor.example_cache.max_entries == 2
+        default_db = Database("postgres", seed=0)
+        assert default_db.executor.example_cache.max_entries == 32
+
+    def test_lru_prefers_evicting_stale_tasks_over_recent_ones(self, corpus):
+        base, _ = corpus
+        db = Database("postgres", seed=0, cache_entries=2)
+        load_classification_table(db, "pts", base.examples)
+        table = db.table("pts")
+        cache = db.executor.example_cache
+        chunk = db.executor.chunk_size
+        tasks = [LogisticRegressionTask(DIMENSION, mu=0.01) for _ in range(3)]
+        cache.batches_for(table, tasks[0], chunk)
+        cache.batches_for(table, tasks[1], chunk)
+        # Touch task 0 so task 1 is the least-recently-used entry.
+        cache.batches_for(table, tasks[0], chunk)
+        cache.batches_for(table, tasks[2], chunk)  # evicts task 1
+        decoded = cache.decoded_rows
+        cache.batches_for(table, tasks[0], chunk)  # still resident: no decode
+        assert cache.decoded_rows == decoded
+        cache.batches_for(table, tasks[1], chunk)  # evicted: decodes again
+        assert cache.decoded_rows == decoded + len(table)
+
+
+# ---------------------------------------------------------------------------
+# Segmented ingest: appends extend segments in place
+# ---------------------------------------------------------------------------
+class TestSegmentedIngest:
+    def test_append_keeps_segment_tables_alive_and_matches_repartition(self, corpus):
+        base, stream = corpus
+        db = SegmentedDatabase(3, "dbms_b", seed=0)
+        load_classification_table(db, "pts", base.examples)
+        before = db.segments_of("pts")
+        db.insert("pts", _rows(len(base.examples), stream.examples))
+        after = db.segments_of("pts")
+        assert [id(s) for s in before] == [id(s) for s in after]  # extended, not rebuilt
+
+        reference = db.master.table("pts").partition(3)
+        for extended, rebuilt in zip(after, reference):
+            assert len(extended) == len(rebuilt)
+            assert list(extended.scan()) == list(rebuilt.scan())
+
+    def test_rewrite_still_forces_full_repartition(self, corpus):
+        base, _ = corpus
+        db = SegmentedDatabase(3, "dbms_b", seed=0)
+        load_classification_table(db, "pts", base.examples)
+        before = db.segments_of("pts")
+        db.shuffle_table("pts", seed=1)
+        after = db.segments_of("pts")
+        assert [id(s) for s in before] != [id(s) for s in after]
+        assert sum(len(s) for s in after) == len(base.examples)
+
+
+# ---------------------------------------------------------------------------
+# Frontend continuation
+# ---------------------------------------------------------------------------
+class TestFrontendContinuation:
+    def test_retrain_under_inserts_is_incremental_by_default(self, corpus):
+        base, stream = corpus
+        db = Database("postgres", seed=0)
+        load_classification_table(db, "labeledpapers", base.examples)
+        install_frontend(db)
+
+        first = db.execute(
+            "SELECT LRTrain('m', 'labeledpapers', 'vec', 'label')"
+        ).scalar()
+        assert "trained" in first
+        assert trained_source(db, "m") == ("labeledpapers", db.table("labeledpapers").version)
+
+        db.insert("labeledpapers", _rows(len(base.examples), stream.examples))
+        decoded_mark = db.executor.example_cache.decoded_rows
+        second = db.execute(
+            "SELECT LRTrain('m', 'labeledpapers', 'vec', 'label')"
+        ).scalar()
+        assert "continued" in second
+        # Delta-only decode: the retrain charged just the appended rows.
+        assert (
+            db.executor.example_cache.decoded_rows - decoded_mark
+            == len(stream.examples)
+        )
+        assert trained_source(db, "m") == ("labeledpapers", db.table("labeledpapers").version)
+        model = load_model(db, "m")
+        assert model["w"].shape == (DIMENSION,)
+        assert "__source__" not in model.component_names()
+
+    def test_rewrite_between_trainings_falls_back_to_full_retrain(self, corpus):
+        base, _ = corpus
+        db = Database("postgres", seed=0)
+        load_classification_table(db, "labeledpapers", base.examples)
+        install_frontend(db)
+        db.execute("SELECT LRTrain('m', 'labeledpapers', 'vec', 'label')")
+        db.table("labeledpapers").shuffle(np.random.default_rng(3))
+        message = db.execute(
+            "SELECT LRTrain('m', 'labeledpapers', 'vec', 'label')"
+        ).scalar()
+        # partial_fit classifies the delta as a rewrite and retrains fully.
+        assert "retrained" in message
+
+
+# ---------------------------------------------------------------------------
+# Chaos: kill a worker in the middle of delta payload shipping
+# ---------------------------------------------------------------------------
+@pytest.mark.backends
+class TestDeltaShippingChaos:
+    def _continue_after_insert(self, corpus, faults=()):
+        base, stream = corpus
+        database = SegmentedDatabase(
+            3,
+            "dbms_b",
+            seed=0,
+            faults=faults,
+            recovery=RecoveryPolicy(timeout=30.0, max_respawns=3, backoff=0.0),
+        )
+        load_classification_table(database, "pts", base.examples)
+        task = LogisticRegressionTask(DIMENSION, mu=0.01)
+        runner = BismarckRunner(
+            database,
+            task,
+            IGDConfig(
+                max_epochs=2,
+                ordering="shuffle_once",
+                seed=0,
+                parallelism=PureUDAParallelism(backend="process"),
+            ),
+        )
+        try:
+            trained = runner.train("pts")
+            database.insert("pts", _rows(len(base.examples), stream.examples))
+            refreshed = runner.partial_fit(
+                "pts",
+                initial_model=trained.model,
+                since_version=trained.table_version,
+                full_pass_every=2,
+            )
+            return trained, refreshed
+        finally:
+            database.close()
+
+    def test_kill_during_extend_replays_base_plus_delta_bit_for_bit(self, corpus):
+        before = _shm_entries()
+        _, clean = self._continue_after_insert(corpus)
+        _, faulted = self._continue_after_insert(
+            corpus, faults=(FaultPlan("kill", worker=1, epoch=0, op="extend"),)
+        )
+        assert np.array_equal(
+            clean.model.as_flat_vector(), faulted.model.as_flat_vector()
+        )
+        assert faulted.respawn_count >= 1
+        (event,) = [e for e in faulted.recovery_events if getattr(e, "respawned", False)]
+        assert "extend" in event.ops
+        # The respawned worker re-received its base payloads and delta chain.
+        assert event.payloads_replayed >= 1
+        assert clean.recovery_events == []
+        assert multiprocessing.active_children() == []
+        assert _shm_entries() <= before
+
+    def test_kill_during_base_load_recovers_too(self, corpus):
+        """A kill during initial payload shipping is absorbed by train(),
+        and the subsequent partial_fit still matches the clean run."""
+        before = _shm_entries()
+        _, clean = self._continue_after_insert(corpus)
+        trained, faulted = self._continue_after_insert(
+            corpus, faults=(FaultPlan("kill", worker=2, epoch=0, op="load"),)
+        )
+        assert np.array_equal(
+            clean.model.as_flat_vector(), faulted.model.as_flat_vector()
+        )
+        assert trained.respawn_count >= 1
+        (event,) = [e for e in trained.recovery_events if getattr(e, "respawned", False)]
+        assert "load" in event.ops
+        assert multiprocessing.active_children() == []
+        assert _shm_entries() <= before
+
+
+# ---------------------------------------------------------------------------
+# Streaming-ingest experiment (the BENCH figure)
+# ---------------------------------------------------------------------------
+class TestStreamingExperiment:
+    def test_incremental_beats_full_invalidation(self):
+        result = run_streaming_ingest_experiment(
+            "small", insert_rounds=3, rows_per_round=20
+        )
+        assert len(result.rounds) == 3
+        assert result.cache_extensions >= 3
+        # Delta-only decode: strictly less work than the invalidation world.
+        assert result.incremental_decoded_total == 3 * 20
+        assert result.baseline_decoded_total > result.incremental_decoded_total
+        assert result.decode_ratio < 0.5
+        payload = result.bench_payload()
+        assert payload["decode_ratio"] == pytest.approx(result.decode_ratio, abs=1e-4)
+        assert "Streaming ingest" in result.render()

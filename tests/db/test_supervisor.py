@@ -196,7 +196,7 @@ class TestBasePoolFixes:
         assert not error.recoverable  # the base pool does not respawn
         # Self-close cleared the registries eagerly, not on a later close().
         assert pool._closed
-        assert pool._loaded == set() and pool._pins == {} and pool._payload_bytes == {}
+        assert not pool._loaded and pool._pins == {} and pool._payload_bytes == {}
         assert multiprocessing.active_children() == []
 
     def test_base_pool_ignores_fault_env(self, monkeypatch):

@@ -76,6 +76,7 @@ def _figures(scale: str) -> dict:
     from repro.experiments import (
         run_benchmark_comparison,
         run_catx_experiment,
+        run_crash_recovery_experiment,
         run_crf_comparison,
         run_data_ordering_experiment,
         run_datasets_table,
@@ -102,6 +103,7 @@ def _figures(scale: str) -> dict:
         "fig9b_speedup": lambda: run_speedup_experiment(scale),
         "whole_loop_parallel": lambda: run_whole_loop_experiment(scale),
         "fault_recovery": lambda: run_fault_recovery_experiment(scale),
+        "crash_recovery": lambda: run_crash_recovery_experiment(scale),
         "fig10a_mrs": lambda: run_mrs_convergence(scale),
         "streaming_ingest": lambda: run_streaming_ingest_experiment(scale),
     }

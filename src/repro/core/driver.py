@@ -8,12 +8,14 @@ objective, wall-clock time, gradient-step counts).
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from ..db.checkpoint import TrainingState
 from ..db.engine import Database
 from ..db.parallel import SegmentedDatabase
 from ..db.pass_plan import (
@@ -75,10 +77,20 @@ class IGDConfig:
     #: vectorized path.  Irrelevant for serial and in-process parallel runs,
     #: whose evaluation is serial either way.
     parallel_evaluation: bool = True
+    #: Save a :class:`~repro.db.checkpoint.TrainingState` (and, on a durable
+    #: engine, a whole-database checkpoint) every N completed epochs.  0
+    #: disables epoch checkpointing.  A run resumed from the saved state
+    #: (``train(..., resume_from=state)``) continues bit-for-bit for
+    #: deterministic schemes.
+    checkpoint_every: int = 0
+    #: Name the training state is saved under (defaults to the table name).
+    checkpoint_name: str | None = None
 
     def __post_init__(self) -> None:
         if self.execution not in ("auto", "per_tuple", "chunked"):
             raise ValueError(f"unknown execution mode {self.execution!r}")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         schedule = make_batch_schedule(self.batch_size)
         if schedule.max_batch_size(self.max_epochs) > 1:
             if self.execution == "per_tuple":
@@ -185,10 +197,24 @@ class BismarckRunner:
         self.config = config or IGDConfig()
 
     # ---------------------------------------------------------------- public
-    def train(self, table_name: str, *, initial_model: Model | None = None) -> IGDResult:
+    def train(
+        self,
+        table_name: str,
+        *,
+        initial_model: Model | None = None,
+        resume_from: TrainingState | None = None,
+    ) -> IGDResult:
+        """Run the epoch loop; optionally resume an interrupted run.
+
+        ``resume_from`` continues from a saved
+        :class:`~repro.db.checkpoint.TrainingState` (e.g. recovered by
+        ``Database.open`` after a crash): the model, RNG, ordering policy
+        (with its drawn permutations), history and step counter pick up at
+        ``next_epoch``, and — crucially — ``prepare`` is *not* re-run, so a
+        physically shuffled heap is not reshuffled.  Deterministic schemes
+        (serial, pure-UDA process) resume bit-for-bit.
+        """
         config = self.config
-        rng = np.random.default_rng(config.seed)
-        ordering = config.resolved_ordering()
         stopping = config.resolved_stopping()
         schedule = make_schedule(config.step_size)
         proximal = config.proximal if config.proximal is not None else self.task.proximal
@@ -200,16 +226,46 @@ class BismarckRunner:
         engine = self._engine()
         recovery_mark = len(getattr(engine, "recovery_log", []))
 
-        version_before = table.version
-        ordering.prepare(table, rng)
-        self._maybe_redistribute(table_name, version_before)
+        if resume_from is not None:
+            rng = copy.deepcopy(resume_from.rng)
+            ordering = (
+                copy.deepcopy(resume_from.ordering)
+                if resume_from.ordering is not None
+                else config.resolved_ordering()
+            )
+            model = resume_from.model.copy()
+            step_offset = resume_from.step_offset
+            history = list(resume_from.history)
+            start_epoch = resume_from.next_epoch
+            # The recovered master heap is authoritative; segments must be
+            # rebuilt/extended from it before the first resumed epoch.
+            self._maybe_redistribute(table_name, -1)
+        else:
+            rng = np.random.default_rng(config.seed)
+            ordering = config.resolved_ordering()
+            version_before = table.version
+            ordering.prepare(table, rng)
+            self._maybe_redistribute(table_name, version_before)
+            model = (
+                initial_model.copy()
+                if initial_model is not None
+                else self.task.initial_model(rng)
+            )
+            step_offset = 0
+            history = []
+            start_epoch = 0
 
-        model = initial_model.copy() if initial_model is not None else self.task.initial_model(rng)
-        step_offset = 0
-        history: list[EpochRecord] = []
         converged = False
+        # A resumed run whose restored history already satisfies the stopping
+        # rule (the crash happened after convergence but before persistence)
+        # must not run extra epochs.
+        done = bool(history) and config.compute_objective and stopping.should_stop(history)
+        if done:
+            converged = True
 
-        for epoch in range(config.max_epochs):
+        for epoch in range(start_epoch, config.max_epochs):
+            if done:
+                break
             epoch_start = time.perf_counter()
             version_before = table.version
             ordering.before_epoch(table, epoch, rng)
@@ -220,6 +276,10 @@ class BismarckRunner:
                 ordering, rng,
             )
             step_offset += steps
+            # Mid-epoch crash hazard: the gradient pass ran, nothing below
+            # (objective, history, checkpoint) has.  Recovery must fall back
+            # to the previous epoch's checkpoint.
+            self._crash_point(engine, "epoch")
 
             objective = float("nan")
             if config.compute_objective:
@@ -232,6 +292,10 @@ class BismarckRunner:
                     gradient_steps=step_offset,
                     model_norm=model.norm(),
                 )
+            )
+            self._maybe_checkpoint(
+                engine, table_name, table, model, rng, ordering, epoch, step_offset,
+                history,
             )
             if config.compute_objective and stopping.should_stop(history):
                 converged = True
@@ -260,6 +324,7 @@ class BismarckRunner:
         since_version: int | None = None,
         full_pass_every: int = 0,
         max_epochs: int | None = None,
+        resume_from: TrainingState | None = None,
     ) -> IGDResult:
         """Continue training over the rows appended since ``since_version``.
 
@@ -284,8 +349,17 @@ class BismarckRunner:
         freshness against *all* data, which is what the stopping rule and
         the streaming experiments care about.  Composes with every backend
         :meth:`train` supports and with epoch-adaptive batch schedules.
+
+        ``resume_from`` short-circuits everything: a crash-interrupted run's
+        saved :class:`~repro.db.checkpoint.TrainingState` (recovered by
+        ``Database.open``) is continued via :meth:`train`'s resume path —
+        after the WAL replay reconstructed the table and its ledger, the
+        state's watermark and the ledger agree on exactly the unreplayed
+        delta.
         """
         config = self.config
+        if resume_from is not None:
+            return self.train(table_name, resume_from=resume_from)
         table = self._master_table(table_name)
         delta = (
             table.classify_delta(since_version) if since_version is not None else None
@@ -331,6 +405,7 @@ class BismarckRunner:
                 None, rng, explicit_orders=orders,
             )
             step_offset += steps
+            self._crash_point(engine, "epoch")
             objective = float("nan")
             if config.compute_objective:
                 objective = self._compute_objective(table_name, table, model, proximal)
@@ -342,6 +417,13 @@ class BismarckRunner:
                     gradient_steps=step_offset,
                     model_norm=model.norm(),
                 )
+            )
+            # Delta epochs checkpoint too (ordering=None: a resumed
+            # continuation run re-covers the whole table, which is safe —
+            # the bit-for-bit resume contract is train()'s).
+            self._maybe_checkpoint(
+                engine, table_name, table, model, rng, None, epoch, step_offset,
+                history,
             )
             if config.compute_objective and stopping.should_stop(history):
                 converged = True
@@ -384,6 +466,53 @@ class BismarckRunner:
         return start + rng.permutation(len(table) - start), None
 
     # -------------------------------------------------------------- internals
+    def _crash_point(self, engine, op: str) -> None:
+        """Fire the engine's crash injector at a named hazard point."""
+        injector = getattr(engine, "crash_injector", None)
+        if injector is not None and injector.armed:
+            injector.crash_point(op)
+
+    def _maybe_checkpoint(
+        self,
+        engine,
+        table_name: str,
+        table: Table,
+        model: Model,
+        rng: np.random.Generator,
+        ordering: OrderingPolicy | None,
+        epoch: int,
+        step_offset: int,
+        history: list,
+    ) -> None:
+        """Save a TrainingState (and a durable checkpoint) at epoch boundaries.
+
+        The RNG and the ordering policy are *deep-copied* mid-stream: shuffle
+        policies cache lazily drawn permutations, and both the cache and the
+        generator state are part of what makes a resumed run bit-for-bit
+        identical to the uninterrupted one.
+        """
+        config = self.config
+        if config.checkpoint_every <= 0:
+            return
+        if (epoch + 1) % config.checkpoint_every != 0:
+            return
+        if not hasattr(engine, "checkpoint"):
+            return
+        name = (config.checkpoint_name or table_name).lower()
+        state = TrainingState(
+            name=name,
+            task=self.task.describe(),
+            table_name=table_name.lower(),
+            table_version=table.version,
+            model=model.copy(),
+            next_epoch=epoch + 1,
+            step_offset=step_offset,
+            history=list(history),
+            rng=copy.deepcopy(rng),
+            ordering=copy.deepcopy(ordering),
+        )
+        engine.checkpoint(training={name: state})
+
     def _engine(self) -> Database:
         if isinstance(self.database, SegmentedDatabase):
             return self.database.master

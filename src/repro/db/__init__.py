@@ -27,10 +27,17 @@ from .engine import (
     EnginePersonality,
     connect,
 )
+from .checkpoint import (
+    CheckpointManager,
+    RecoveryReport,
+    TrainingState,
+    recover_database,
+)
 from .errors import (
     CatalogError,
     DatabaseError,
     DuplicateTableError,
+    EnvSpecError,
     ExecutionError,
     ParseError,
     SchemaError,
@@ -43,11 +50,17 @@ from .errors import (
 )
 from .fault import (
     COMPUTE_OPS,
+    CRASH_OPS,
+    CrashInjector,
+    CrashPlan,
     FaultInjected,
     FaultPlan,
+    crashes_from_env,
     faults_from_env,
+    parse_crash_spec,
     parse_fault_spec,
 )
+from .wal import DurabilityPolicy, WriteAheadLog, iter_wal_records, repair_wal_directory
 from .chunk_plan import ChunkPlan, partition_round_robin, resolve_ordinals, split_round_robin
 from .executor import QueryResult
 from .parallel import ParallelAggregateResult, SegmentedDatabase
@@ -104,7 +117,11 @@ __all__ = [
     "resolve_ordinals",
     "split_round_robin",
     "COMPUTE_OPS",
+    "CRASH_OPS",
+    "CheckpointManager",
     "Column",
+    "CrashInjector",
+    "CrashPlan",
     "ColumnType",
     "DBMS_A",
     "DegradationEvent",
@@ -112,7 +129,9 @@ __all__ = [
     "Database",
     "DatabaseError",
     "DuplicateTableError",
+    "DurabilityPolicy",
     "EnginePersonality",
+    "EnvSpecError",
     "ExecutionError",
     "FaultInjected",
     "FaultPlan",
@@ -126,6 +145,7 @@ __all__ = [
     "QueryResult",
     "RecoveryEvent",
     "RecoveryPolicy",
+    "RecoveryReport",
     "Row",
     "SHARED_MEMORY_SCHEMES",
     "Schema",
@@ -137,17 +157,24 @@ __all__ = [
     "SharedSegment",
     "SupervisedWorkerPool",
     "Table",
+    "TrainingState",
     "TypeMismatchError",
     "UnknownColumnError",
     "UnknownFunctionError",
     "UnknownTableError",
     "WorkerDiedError",
+    "WriteAheadLog",
     "available_cores",
     "connect",
+    "crashes_from_env",
     "default_process_workers",
     "faults_from_env",
+    "iter_wal_records",
+    "parse_crash_spec",
     "parse_fault_spec",
     "partition_round_robin",
+    "recover_database",
+    "repair_wal_directory",
     "run_process_shared_memory_epoch",
     "run_shared_memory_epoch",
 ]

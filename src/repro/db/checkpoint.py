@@ -1,0 +1,216 @@
+"""Atomic checkpoints of tables + training state, and crash recovery.
+
+A checkpoint is one self-contained snapshot of a database: every catalog
+table (rows, schema, version counter **and version ledger** — so
+``partial_fit`` watermarks keep classifying correctly across a crash), the
+engine's saved :class:`TrainingState` objects, and the WAL position the
+snapshot covers through.
+
+Atomicity is rename-based: the snapshot is fully written and fsync'd to a
+``*.tmp`` file, then ``os.replace``'d into its generation-numbered final
+name.  A crash before the rename leaves only a stale temp file (ignored and
+swept on the next open); a crash after it leaves a complete new generation.
+There is no state in which a half-written checkpoint can be mistaken for a
+whole one — the payload is CRC-framed, and recovery scans generations newest
+to oldest, falling back past any snapshot that does not validate.
+
+Recovery (:func:`recover_database`, run by ``Database.open``):
+
+1. truncate the WAL's torn tail (:func:`~repro.db.wal.repair_wal_directory`);
+2. load the newest *valid* checkpoint; restore tables and training states;
+3. replay WAL records past the checkpoint's ``(segment, offset)`` — table
+   mutations re-apply with their original :class:`~repro.db.table.LedgerEntry`
+   (exact version numbers, ledger reconstructed, no re-logging), DDL records
+   re-create/drop tables;
+4. the engine then reopens the WAL for append and re-attaches its mutation
+   observers.
+
+A resumed deterministic training run continues from the restored
+:class:`TrainingState` — model, epoch counter, step offset, history, the
+``numpy`` RNG *and the ordering policy's drawn permutations* — and must
+match the uninterrupted run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .table import Table
+from .wal import RECORD_HEADER, iter_wal_records, repair_wal_directory
+
+#: Checkpoint file framing: magic + format version, then ``<II`` (length,
+#: CRC-32) and the pickled payload.
+CHECKPOINT_MAGIC = b"BCKP1"
+CHECKPOINT_FORMAT = 1
+
+
+@dataclass
+class TrainingState:
+    """Everything a ``BismarckRunner`` needs to continue a run bit-for-bit.
+
+    Captured at epoch granularity (end of epoch ``next_epoch - 1``): the
+    model, the convergence history, the RNG mid-stream, and a deep copy of
+    the ordering policy — shuffle policies draw permutations lazily and cache
+    them, so the *policy object* (not just its name) is part of the resumable
+    state.  ``table_version`` is the frontend's ``table@version`` watermark:
+    after recovery, ``partial_fit`` continues over exactly the rows the WAL
+    replayed past it.
+    """
+
+    name: str
+    task: str
+    table_name: str
+    table_version: int
+    model: Any
+    next_epoch: int
+    step_offset: int
+    history: list = field(default_factory=list)
+    rng: Any = None
+    ordering: Any = None
+
+
+class CheckpointManager:
+    """Generation-numbered atomic snapshots in a database directory."""
+
+    KEEP_GENERATIONS = 2
+
+    def __init__(self, directory: Path, *, crash: "object | None" = None):
+        self.directory = Path(directory)
+        self._crash = crash
+        # Stale temp files are crashes' litter; they are never loadable state.
+        for leftover in self.directory.glob("checkpoint-*.tmp"):
+            leftover.unlink(missing_ok=True)
+
+    def _path(self, generation: int) -> Path:
+        return self.directory / f"checkpoint-{generation:06d}.ckpt"
+
+    def generations(self) -> list[int]:
+        found = []
+        for path in self.directory.glob("checkpoint-*.ckpt"):
+            try:
+                found.append(int(path.stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                continue
+        return sorted(found)
+
+    def write(self, payload: dict) -> Path:
+        """Atomically persist one snapshot; returns the final path."""
+        existing = self.generations()
+        generation = existing[-1] + 1 if existing else 0
+        payload = {**payload, "format": CHECKPOINT_FORMAT, "generation": generation}
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = CHECKPOINT_MAGIC + RECORD_HEADER.pack(len(data), zlib.crc32(data)) + data
+        final = self._path(generation)
+        tmp = final.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self._crash is not None:
+            # The mid-checkpoint hazard point: the snapshot exists only as a
+            # temp file.  Dying here must cost nothing but the temp file.
+            self._crash.crash_point("checkpoint")
+        os.replace(tmp, final)
+        self._fsync_directory()
+        for old in existing[: max(0, len(existing) - (self.KEEP_GENERATIONS - 1))]:
+            self._path(old).unlink(missing_ok=True)
+        return final
+
+    def load(self, generation: int) -> "dict | None":
+        """One generation's payload, or None when missing/corrupt."""
+        path = self._path(generation)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        prefix = len(CHECKPOINT_MAGIC)
+        if not blob.startswith(CHECKPOINT_MAGIC) or len(blob) < prefix + RECORD_HEADER.size:
+            return None
+        length, checksum = RECORD_HEADER.unpack_from(blob, prefix)
+        data = blob[prefix + RECORD_HEADER.size:]
+        if len(data) != length or zlib.crc32(data) != checksum:
+            return None
+        return pickle.loads(data)
+
+    def load_latest(self) -> "tuple[dict, int] | None":
+        """Newest checkpoint that validates, scanning newest → oldest."""
+        for generation in reversed(self.generations()):
+            payload = self.load(generation)
+            if payload is not None:
+                return payload, generation
+        return None
+
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+@dataclass
+class RecoveryReport:
+    """What one ``Database.open`` recovery pass did."""
+
+    checkpoint_generation: "int | None" = None
+    tables_restored: int = 0
+    records_replayed: int = 0
+    torn_bytes_discarded: int = 0
+    training_states: tuple = ()
+
+    @property
+    def recovered_anything(self) -> bool:
+        return self.checkpoint_generation is not None or self.records_replayed > 0
+
+
+def recover_database(database, directory: Path) -> RecoveryReport:
+    """Restore ``database``'s catalog and training states from disk.
+
+    Called by the engine before the WAL is reopened for append and before
+    mutation observers are attached, so nothing replayed here is re-logged.
+    """
+    directory = Path(directory)
+    report = RecoveryReport()
+    report.torn_bytes_discarded = repair_wal_directory(directory)
+
+    loaded = database.checkpoints.load_latest()
+    position = None
+    if loaded is not None:
+        payload, generation = loaded
+        report.checkpoint_generation = generation
+        for key, image in payload.get("tables", {}).items():
+            database.tables[key] = Table.from_image(image)
+            report.tables_restored += 1
+        database._training_states.update(payload.get("training", {}))
+        position = payload.get("wal_position")
+        if position is None:
+            # Checkpoint-only durability (mode "off"): the snapshot is the
+            # whole truth; any WAL files predate it or belong to another mode.
+            report.training_states = tuple(sorted(database._training_states))
+            return report
+
+    for record in iter_wal_records(directory, after=position):
+        kind = record.get("type")
+        if kind == "create":
+            table = Table.from_image(record["image"])
+            database.tables[table.name.lower()] = table
+            report.tables_restored += 1
+        elif kind == "drop":
+            database.tables.pop(record["name"], None)
+        elif kind == "mutation":
+            table = database.tables.get(record["table"])
+            if table is not None:
+                table.apply_logged_mutation(
+                    record["entry"], record["rows"], record.get("clustered_on")
+                )
+        report.records_replayed += 1
+    report.training_states = tuple(sorted(database._training_states))
+    return report

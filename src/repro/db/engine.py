@@ -13,14 +13,17 @@ DBMS B is a parallel engine with cheap per-tuple cost per segment).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from .aggregates import AggregateRegistry, UserDefinedAggregate
+from .checkpoint import CheckpointManager, TrainingState, recover_database
 from .errors import DuplicateTableError, ExecutionError, UnknownTableError
 from .executor import Executor, QueryResult
 from .expressions import Expression
+from .fault import CrashInjector, crashes_from_env, faults_from_env
 from .parser import (
     CreateTableStatement,
     DropTableStatement,
@@ -29,8 +32,9 @@ from .parser import (
     parse,
 )
 from .shared_memory import SharedMemoryArena
-from .table import Table
+from .table import LedgerEntry, Table
 from .types import Column, ColumnType, Schema
+from .wal import DurabilityPolicy, WriteAheadLog
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,9 @@ class Database:
         recovery: "object | None" = None,
         faults: "Sequence | None" = None,
         cache_entries: int | None = None,
+        path: "str | Path | None" = None,
+        durability: "DurabilityPolicy | str | None" = None,
+        crashes: "Sequence | None" = None,
     ):
         if isinstance(personality, str):
             try:
@@ -95,6 +102,21 @@ class Database:
         #: read REPRO_FAULT at pool creation).
         self.recovery_policy = recovery
         self.fault_plans = faults
+        # Fail loudly on malformed env specs *at construction* instead of
+        # deep inside the first pool build or training epoch: validate
+        # REPRO_RECOVERY_* and REPRO_FAULT eagerly whenever the engine would
+        # later read them (EnvSpecError, a ValueError, names the bad field).
+        if recovery is None:
+            from .supervisor import RecoveryPolicy
+
+            RecoveryPolicy.from_env()
+        if faults is None:
+            faults_from_env()
+        #: Whole-process crash injection (REPRO_CRASH / ``crashes=``): the
+        #: driver, the WAL and the checkpoint writer call its crash points.
+        self.crash_injector = CrashInjector(
+            crashes if crashes is not None else crashes_from_env()
+        )
         #: Structured RecoveryEvent / DegradationEvent log, appended to by
         #: supervised pools and the degradation ladder.  The driver snapshots
         #: it around a training run to report what a run absorbed.
@@ -118,6 +140,123 @@ class Database:
             **executor_kwargs,
         )
         self.executor.on_degradation = self.record_recovery_event
+
+        # ------------------------------------------------------- durability
+        #: Saved TrainingState objects by name.  In-memory for every engine;
+        #: persisted in each checkpoint when the engine is durable.
+        self._training_states: dict[str, TrainingState] = {}
+        self.durability = DurabilityPolicy.resolve(durability)
+        self.path = Path(path) if path is not None else None
+        self.wal: "WriteAheadLog | None" = None
+        self.checkpoints: "CheckpointManager | None" = None
+        #: :class:`~repro.db.checkpoint.RecoveryReport` of what opening this
+        #: directory recovered (None for non-durable engines).
+        self.recovery_report = None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+            self.checkpoints = CheckpointManager(self.path, crash=self.crash_injector)
+            # Recovery runs before the WAL reopens for append and before
+            # observers attach, so replayed mutations are never re-logged.
+            self.recovery_report = recover_database(self, self.path)
+            if self.durability.wal_enabled:
+                self.wal = WriteAheadLog(
+                    self.path, self.durability, crash=self.crash_injector
+                )
+            for table in self.tables.values():
+                table.add_observer(self._on_table_mutation)
+
+    @classmethod
+    def open(
+        cls,
+        path: "str | Path",
+        personality: EnginePersonality | str = POSTGRES,
+        **kwargs,
+    ) -> "Database":
+        """Open (creating or recovering) a durable database directory.
+
+        A fresh directory starts empty with a live WAL; an existing one is
+        recovered — latest valid checkpoint, WAL replayed past it, training
+        states restored — before the instance is returned.  See
+        :attr:`recovery_report` for what happened.
+        """
+        return cls(personality, path=path, **kwargs)
+
+    @property
+    def durable(self) -> bool:
+        """True when this engine persists to a directory."""
+        return self.path is not None
+
+    def _on_table_mutation(self, table: Table, entry: LedgerEntry) -> None:
+        """WAL observer: append one mutation record (rows + ledger entry)."""
+        if self.wal is None or self.wal.closed:
+            return
+        if entry.kind == "append":
+            rows = table.tail_values(entry.rows_after - entry.rows_added)
+        else:
+            rows = table.tail_values(0)
+        self.wal.append(
+            {
+                "type": "mutation",
+                "table": table.name.lower(),
+                "entry": entry,
+                "rows": rows,
+                "clustered_on": table.clustered_on,
+            }
+        )
+
+    def _attach_durable(self, table: Table) -> None:
+        """Log a table's creation and start observing its mutations."""
+        if self.path is None:
+            return
+        if self.wal is not None and not self.wal.closed:
+            self.wal.append({"type": "create", "image": table.to_image()})
+        table.add_observer(self._on_table_mutation)
+
+    def _detach_durable(self, table: Table, *, log_drop: bool) -> None:
+        if self.path is None:
+            return
+        table.remove_observer(self._on_table_mutation)
+        if log_drop and self.wal is not None and not self.wal.closed:
+            self.wal.append({"type": "drop", "name": table.name.lower()})
+
+    def checkpoint(self, *, training: "dict[str, TrainingState] | None" = None):
+        """Snapshot the catalog + training states; rotate and prune the WAL.
+
+        ``training`` merges new/updated :class:`TrainingState` objects first.
+        On a non-durable engine the states are still retained in memory (so
+        same-process resume works) but nothing is written; returns the
+        checkpoint path, or None when not durable.
+        """
+        if training:
+            for key, state in training.items():
+                self._training_states[key.lower()] = state
+        if self.checkpoints is None:
+            return None
+        position = self.wal.position() if self.wal is not None and not self.wal.closed else None
+        payload = {
+            "tables": {key: table.to_image() for key, table in self.tables.items()},
+            "training": dict(self._training_states),
+            "wal_position": position,
+        }
+        written = self.checkpoints.write(payload)
+        if self.wal is not None and not self.wal.closed:
+            # Everything up to `position` is now covered by the snapshot;
+            # rotate so recovery's replay boundary is a whole-segment edge,
+            # and drop segments older than the one the checkpoint points at.
+            self.wal.rotate()
+            self.wal.prune(position[0])
+        return written
+
+    def training_state(self, name: str) -> "TrainingState | None":
+        """The saved training state under ``name`` (or None)."""
+        return self._training_states.get(name.lower())
+
+    def training_state_names(self) -> list[str]:
+        return sorted(self._training_states)
+
+    def clear_training_state(self, name: str) -> None:
+        """Forget a saved training state (persisted at the next checkpoint)."""
+        self._training_states.pop(name.lower(), None)
 
     # ----------------------------------------------------------------- DDL/DML
     def create_table(
@@ -144,14 +283,21 @@ class Database:
             )
         table = Table(name, schema)
         self.tables[key] = table
+        self._attach_durable(table)
         return table
 
     def register_table(self, table: Table, *, replace: bool = False) -> None:
         """Register an externally built Table in the catalog."""
         key = table.name.lower()
-        if key in self.tables and not replace:
+        previous = self.tables.get(key)
+        if previous is not None and not replace:
             raise DuplicateTableError(table.name)
+        if previous is not None and previous is not table:
+            # The displaced table must stop logging: it is no longer catalog
+            # state, and its mutations would corrupt replay ordering.
+            self._detach_durable(previous, log_drop=False)
         self.tables[key] = table
+        self._attach_durable(table)
 
     def drop_table(self, name: str, *, if_exists: bool = False) -> None:
         key = name.lower()
@@ -159,7 +305,8 @@ class Database:
             if if_exists:
                 return
             raise UnknownTableError(name)
-        del self.tables[key]
+        table = self.tables.pop(key)
+        self._detach_durable(table, log_drop=True)
 
     def table(self, name: str) -> Table:
         try:
@@ -265,15 +412,20 @@ class Database:
     def close(self) -> None:
         """Release every OS resource the engine owns.  Idempotent.
 
-        Reaps the process-backend worker pools and frees all shared-memory
-        arena segments.  The ``atexit`` sweeps remain as a crash net, but
-        deterministic callers (the driver, the experiment harness, tests)
-        should close engines — or use ``with Database(...) as db:`` — so no
-        worker processes or ``/dev/shm`` blocks outlive the run that made
-        them.
+        Reaps the process-backend worker pools, frees all shared-memory
+        arena segments, and — for durable engines — flushes and closes the
+        write-ahead log.  Double-close is a no-op, including on an engine
+        that was itself produced by a recovery :meth:`open`: the WAL handle
+        closes exactly once and later closes return without touching it.
+        The ``atexit`` sweeps remain as a crash net, but deterministic
+        callers (the driver, the experiment harness, tests) should close
+        engines — or use ``with Database(...) as db:`` — so no worker
+        processes or ``/dev/shm`` blocks outlive the run that made them.
         """
         self.close_process_pools()
         self.shared_memory.free_all()
+        if self.wal is not None:
+            self.wal.close()
 
     def __enter__(self) -> "Database":
         return self

@@ -53,6 +53,18 @@ class WorkerDiedError(ExecutionError):
         self.workers = tuple(workers)
 
 
+class EnvSpecError(ExecutionError, ValueError):
+    """A malformed environment-variable spec.
+
+    Raised when ``REPRO_FAULT``, ``REPRO_CRASH`` or a ``REPRO_RECOVERY_*``
+    variable fails to parse.  Subclasses both :class:`ExecutionError` (so
+    existing harness-level handlers keep working) and :class:`ValueError`
+    (the natural type for "this string is not a valid value"), and always
+    names the offending variable/field so a typo'd CI spec fails loudly at
+    engine construction instead of silently injecting nothing.
+    """
+
+
 class CatalogError(DatabaseError):
     """Base class for catalog lookup failures."""
 

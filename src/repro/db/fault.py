@@ -51,10 +51,11 @@ Actions:
 from __future__ import annotations
 
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 
-from .errors import ExecutionError
+from .errors import EnvSpecError, ExecutionError
 
 FAULT_ACTIONS = ("kill", "hang", "poison")
 
@@ -124,13 +125,31 @@ class FaultPlan:
         return ":".join(parts)
 
 
+def _int_field(clause: str, key: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise EnvSpecError(
+            f"malformed fault clause {clause!r}: {key}={value!r} is not a valid integer"
+        ) from None
+
+
+def _float_field(clause: str, key: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise EnvSpecError(
+            f"malformed fault clause {clause!r}: {key}={value!r} is not a valid number"
+        ) from None
+
+
 def parse_fault_spec(text: str) -> tuple[FaultPlan, ...]:
     """Parse a ``REPRO_FAULT`` spec string into fault plans.
 
     See the module docstring for the grammar.  An empty/whitespace spec parses
-    to no plans; malformed clauses raise :class:`ExecutionError` with the
-    offending clause named, so a typo'd CI spec fails loudly instead of
-    silently injecting nothing.
+    to no plans; malformed clauses raise :class:`EnvSpecError` (a
+    ``ValueError`` subclass) naming the offending clause and field, so a
+    typo'd CI spec fails loudly instead of silently injecting nothing.
     """
     plans: list[FaultPlan] = []
     for clause in text.split(";"):
@@ -145,24 +164,24 @@ def parse_fault_spec(text: str) -> tuple[FaultPlan, ...]:
                 key, sep, value = pair.partition("=")
                 key = key.strip().lower()
                 if not sep or not value.strip():
-                    raise ExecutionError(
+                    raise EnvSpecError(
                         f"malformed fault clause {clause!r}: expected key=value, got {pair!r}"
                     )
                 value = value.strip()
                 if key in ("worker", "epoch"):
-                    kwargs[key] = int(value)
+                    kwargs[key] = _int_field(clause, key, value)
                 elif key == "seconds":
-                    kwargs[key] = float(value)
+                    kwargs[key] = _float_field(clause, key, value)
                 elif key == "op":
                     kwargs[key] = value
                 else:
-                    raise ExecutionError(
+                    raise EnvSpecError(
                         f"malformed fault clause {clause!r}: unknown key {key!r}"
                     )
         try:
             plans.append(FaultPlan(action=action, **kwargs))
-        except (TypeError, ValueError) as error:
-            raise ExecutionError(f"malformed fault clause {clause!r}: {error}") from error
+        except (TypeError, ValueError, ExecutionError) as error:
+            raise EnvSpecError(f"malformed fault clause {clause!r}: {error}") from None
     return tuple(plans)
 
 
@@ -238,3 +257,159 @@ class FaultInjector:
             self._seen_total += 1
         if op in COMPUTE_OPS or op in PAYLOAD_OPS:
             self._seen_by_op[op] = self._seen_by_op.get(op, 0) + 1
+
+
+# --------------------------------------------------------------------- crashes
+#
+# Fault plans above model *worker* failure: a child process dies and the
+# supervisor heals the pool.  Crash plans model failure of the *engine
+# process itself* — the whole database, training loop and all, SIGKILLed with
+# no chance to flush or unwind.  They exist to exercise the durability layer
+# (:mod:`repro.db.wal` / :mod:`repro.db.checkpoint`): the test harness runs a
+# victim engine in a child process with ``REPRO_CRASH`` set, watches it die
+# with SIGKILL, then reopens the database directory and asserts recovery.
+
+#: Environment variable carrying a crash spec (read by ``Database`` at
+#: construction).  Never export this into a process you want to keep.
+CRASH_ENV_VAR = "REPRO_CRASH"
+
+#: Engine-side operations a crash plan may target.  ``epoch`` fires after the
+#: gradient pass of the matching training epoch (mid-epoch: the model moved,
+#: nothing was checkpointed); ``checkpoint`` fires after the temp snapshot is
+#: written but *before* the atomic rename; ``wal_append`` fires after half a
+#: WAL record reached the OS — a real torn write.
+CRASH_OPS = ("epoch", "checkpoint", "wal_append")
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """One whole-process crash: SIGKILL the engine at the ``at``-th ``op``.
+
+    ``at`` counts occurrences of the target op seen by the process (0-based),
+    so ``CrashPlan("epoch", at=3)`` kills the engine at its fourth training
+    epoch and ``CrashPlan("wal_append", at=5)`` mid-way through the sixth WAL
+    record.
+    """
+
+    op: str = "epoch"
+    at: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in CRASH_OPS:
+            raise EnvSpecError(
+                f"unknown crash op {self.op!r}; expected one of {CRASH_OPS}"
+            )
+        if self.at < 0:
+            raise EnvSpecError("crash 'at' ordinal must be >= 0")
+
+    def spec(self) -> str:
+        """Render this plan back into the ``REPRO_CRASH`` grammar."""
+        return f"kill:op={self.op}:at={self.at}"
+
+
+def parse_crash_spec(text: str) -> tuple[CrashPlan, ...]:
+    """Parse a ``REPRO_CRASH`` spec string into crash plans.
+
+    Grammar (clauses joined by ``;``)::
+
+        clause := "kill" (":" key "=" value)*
+        key    := "epoch" | "op" | "at"
+
+    ``epoch=N`` is shorthand for ``op=epoch:at=N``.  Malformed clauses raise
+    :class:`EnvSpecError` naming the bad field.
+    """
+    plans: list[CrashPlan] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        action, _, rest = clause.partition(":")
+        action = action.strip().lower()
+        if action != "kill":
+            raise EnvSpecError(
+                f"malformed crash clause {clause!r}: unknown action {action!r} "
+                "(only 'kill' is supported)"
+            )
+        kwargs: dict = {}
+        if rest:
+            for pair in rest.split(":"):
+                key, sep, value = pair.partition("=")
+                key = key.strip().lower()
+                if not sep or not value.strip():
+                    raise EnvSpecError(
+                        f"malformed crash clause {clause!r}: expected key=value, got {pair!r}"
+                    )
+                value = value.strip()
+                if key == "epoch":
+                    kwargs["op"] = "epoch"
+                    kwargs["at"] = _ordinal_field(clause, key, value)
+                elif key == "at":
+                    kwargs["at"] = _ordinal_field(clause, key, value)
+                elif key == "op":
+                    kwargs["op"] = value.lower()
+                else:
+                    raise EnvSpecError(
+                        f"malformed crash clause {clause!r}: unknown key {key!r}"
+                    )
+        plans.append(CrashPlan(**kwargs))
+    return tuple(plans)
+
+
+def _ordinal_field(clause: str, key: str, value: str) -> int:
+    number = _int_field(clause, key, value)
+    if number < 0:
+        raise EnvSpecError(
+            f"malformed crash clause {clause!r}: {key}={value!r} must be >= 0"
+        )
+    return number
+
+
+def crashes_from_env(environ=None) -> tuple[CrashPlan, ...]:
+    """Crash plans requested through ``REPRO_CRASH`` (empty when unset)."""
+    environ = os.environ if environ is None else environ
+    spec = environ.get(CRASH_ENV_VAR, "")
+    if not spec.strip():
+        return ()
+    try:
+        return parse_crash_spec(spec)
+    except EnvSpecError as error:
+        raise EnvSpecError(f"{CRASH_ENV_VAR}: {error}") from None
+
+
+class CrashInjector:
+    """Engine-side crash trigger: counts ops, SIGKILLs the process on a match.
+
+    The engine, the WAL and the checkpoint writer call
+    :meth:`crash_point` at their respective hazard points; when a pending
+    plan matches, the process receives ``SIGKILL`` — no atexit handlers, no
+    ``finally`` blocks, no buffered flushes.  Exactly what a power cut or an
+    OOM kill looks like to the durability layer.
+    """
+
+    def __init__(self, plans: "tuple[CrashPlan, ...] | list | None" = None):
+        self._pending: list[CrashPlan] = list(plans or ())
+        self._seen: dict[str, int] = {}
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._pending)
+
+    def should_fire(self, op: str) -> bool:
+        """Count one occurrence of ``op``; True when a pending plan matches."""
+        count = self._seen.get(op, 0)
+        self._seen[op] = count + 1
+        for plan in self._pending:
+            if plan.op == op and plan.at == count:
+                self._pending.remove(plan)
+                return True
+        return False
+
+    def fire(self) -> None:
+        """SIGKILL the current process.  Does not return."""
+        os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(60)  # the signal is fatal; never reached
+
+    def crash_point(self, op: str) -> None:
+        """Maybe crash here.  May not return."""
+        if self.should_fire(op):
+            self.fire()

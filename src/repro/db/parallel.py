@@ -57,8 +57,19 @@ class SegmentedDatabase:
         seed: int | None = None,
         recovery: "object | None" = None,
         faults: "Sequence | None" = None,
+        path: "object | None" = None,
+        durability: "object | None" = None,
+        crashes: "Sequence | None" = None,
     ):
-        self.master = Database(personality, seed=seed, recovery=recovery, faults=faults)
+        self.master = Database(
+            personality,
+            seed=seed,
+            recovery=recovery,
+            faults=faults,
+            path=path,
+            durability=durability,
+            crashes=crashes,
+        )
         if num_segments is not None and num_segments <= 0:
             raise ExecutionError("num_segments must be positive")
         segments = num_segments if num_segments is not None else self.master.personality.default_segments
@@ -68,6 +79,43 @@ class SegmentedDatabase:
         #: :meth:`redistribute` can classify the delta since the last sync and
         #: extend segments in place on append-only mutations.
         self._segment_versions: dict[str, int] = {}
+        # Durability only lives on the master: segment tables are derived
+        # state, reconstructible from the master heap, so crash recovery
+        # restores the master catalog and this loop re-partitions it —
+        # per-segment table identity (names, round-robin placement) is a pure
+        # function of the master, hence preserved across the crash.
+        for key, table in self.master.tables.items():
+            self._segment_tables[key] = table.partition(self.num_segments)
+            self._segment_versions[key] = table.version
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        num_segments: int | None = None,
+        personality: EnginePersonality | str = DBMS_B,
+        **kwargs,
+    ) -> "SegmentedDatabase":
+        """Open/recover a durable segmented database (see ``Database.open``)."""
+        return cls(num_segments, personality, path=path, **kwargs)
+
+    @property
+    def recovery_report(self):
+        return self.master.recovery_report
+
+    @property
+    def crash_injector(self):
+        return self.master.crash_injector
+
+    def checkpoint(self, **kwargs):
+        """Checkpoint the master catalog (segments are derived state)."""
+        return self.master.checkpoint(**kwargs)
+
+    def training_state(self, name: str):
+        return self.master.training_state(name)
+
+    def clear_training_state(self, name: str) -> None:
+        self.master.clear_training_state(name)
 
     # -------------------------------------------------------------- catalog
     @property

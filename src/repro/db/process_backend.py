@@ -250,8 +250,18 @@ def _worker_main(
     """Long-lived worker loop: cache payloads, run epochs, return states."""
     payloads: dict = {}
     injector = FaultInjector(plans=faults, worker=worker_index) if faults else None
+    # Workers forked after us inherit our command pipe's parent end, so a
+    # SIGKILLed engine does not reliably EOF every pipe (siblings keep each
+    # other's ends alive).  Orphaning is therefore detected by re-parenting:
+    # when idle, a worker whose parent changed exits on its own — this is
+    # what keeps a whole-process crash from leaving stray workers behind.
+    supervisor_pid = os.getppid()
     while True:
         try:
+            if not conn.poll(1.0):
+                if os.getppid() != supervisor_pid:  # pragma: no cover - crash path
+                    break
+                continue
             msg = conn.recv()
         except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
             break

@@ -38,7 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from .errors import ExecutionError, WorkerDiedError
+from .errors import EnvSpecError, ExecutionError, WorkerDiedError
 from .fault import FaultPlan, faults_from_env
 from .process_backend import ProcessWorkerPool
 
@@ -75,18 +75,36 @@ class RecoveryPolicy:
 
     @classmethod
     def from_env(cls, environ=None) -> "RecoveryPolicy":
+        """Policy overridden by ``REPRO_RECOVERY_*`` variables.
+
+        Unset / empty variables keep their defaults; malformed values raise
+        :class:`~repro.db.errors.EnvSpecError` (a ``ValueError``) naming the
+        variable, as do out-of-range values (e.g. a negative timeout) — a
+        typo'd CI override must never silently fall back to the defaults.
+        """
         environ = os.environ if environ is None else environ
         kwargs: dict[str, Any] = {}
-        timeout = environ.get("REPRO_RECOVERY_TIMEOUT")
-        if timeout:
-            kwargs["timeout"] = float(timeout)
-        respawns = environ.get("REPRO_RECOVERY_MAX_RESPAWNS")
-        if respawns:
-            kwargs["max_respawns"] = int(respawns)
-        backoff = environ.get("REPRO_RECOVERY_BACKOFF")
-        if backoff:
-            kwargs["backoff"] = float(backoff)
-        return cls(**kwargs)
+        fields = (
+            ("REPRO_RECOVERY_TIMEOUT", "timeout", float, "number of seconds"),
+            ("REPRO_RECOVERY_MAX_RESPAWNS", "max_respawns", int, "integer"),
+            ("REPRO_RECOVERY_BACKOFF", "backoff", float, "number of seconds"),
+        )
+        for variable, key, convert, expected in fields:
+            raw = environ.get(variable)
+            if raw is None or not raw.strip():
+                continue
+            try:
+                kwargs[key] = convert(raw)
+            except ValueError:
+                raise EnvSpecError(
+                    f"{variable}={raw!r} is not a valid {expected}"
+                ) from None
+        try:
+            return cls(**kwargs)
+        except ExecutionError as error:
+            raise EnvSpecError(
+                f"invalid REPRO_RECOVERY_* configuration: {error}"
+            ) from None
 
 
 @dataclass(frozen=True)

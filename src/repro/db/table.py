@@ -174,25 +174,40 @@ class Table:
         #: layers can distinguish "the world grew" from "the world changed".
         self._ledger: list[LedgerEntry] = []
         self.ledger_capacity = DEFAULT_LEDGER_CAPACITY
+        #: Mutation observers: ``callback(table, entry)`` invoked after every
+        #: ledger bump.  The durable engine attaches its WAL logger here —
+        #: :meth:`_bump` is the single choke-point every mutating operation
+        #: goes through, so observing it observes everything.
+        self._observers: list[Callable[["Table", LedgerEntry], None]] = []
 
     @property
     def version(self) -> int:
         return self._version
 
+    def add_observer(self, callback: Callable[["Table", LedgerEntry], None]) -> None:
+        """Invoke ``callback(table, entry)`` after every mutation."""
+        if callback not in self._observers:
+            self._observers.append(callback)
+
+    def remove_observer(self, callback) -> None:
+        if callback in self._observers:
+            self._observers.remove(callback)
+
     def _bump(self, kind: str, rows_added: int, op: str) -> None:
         """Advance the version and record how it was reached in the ledger."""
         self._version += 1
-        self._ledger.append(
-            LedgerEntry(
-                version=self._version,
-                kind=kind,
-                rows_added=rows_added,
-                rows_after=self._num_rows,
-                op=op,
-            )
+        entry = LedgerEntry(
+            version=self._version,
+            kind=kind,
+            rows_added=rows_added,
+            rows_after=self._num_rows,
+            op=op,
         )
+        self._ledger.append(entry)
         if len(self._ledger) > self.ledger_capacity:
             del self._ledger[: len(self._ledger) - self.ledger_capacity]
+        for observer in self._observers:
+            observer(self, entry)
 
     def ledger_entries(self, since_version: int = 0) -> list[LedgerEntry]:
         """Retained ledger entries with ``version > since_version``, oldest first."""
@@ -406,7 +421,11 @@ class Table:
         self.clustered_on = None
 
     def copy(self, name: str | None = None) -> "Table":
-        """Deep-enough copy of the table (rows are immutable tuples)."""
+        """Deep-enough copy of the table (rows are immutable tuples).
+
+        Observers are deliberately not copied: a clone is a new, unlogged
+        object until someone attaches to it.
+        """
         clone = Table(name or self.name, self.schema, page_size=self.page_size)
         clone._pages = [list(page) for page in self._pages]
         clone._num_rows = self._num_rows
@@ -415,6 +434,78 @@ class Table:
         clone._ledger = list(self._ledger)
         clone.ledger_capacity = self.ledger_capacity
         return clone
+
+    def __getstate__(self) -> dict:
+        # Observers are engine-side callbacks (often bound methods of the
+        # owning Database); a pickled table must never drag the engine along.
+        state = dict(self.__dict__)
+        state["_observers"] = []
+        return state
+
+    # ------------------------------------------------------------- durability
+    def to_image(self) -> dict:
+        """A picklable snapshot of the table's complete durable state.
+
+        Carries the version counter and the full retained ledger, so a table
+        restored from an image classifies version deltas exactly like the
+        original — ``partial_fit`` watermarks survive a crash.
+        """
+        return {
+            "name": self.name,
+            "schema": self.schema,
+            "page_size": self.page_size,
+            "rows": [values for page in self._pages for values in page],
+            "version": self._version,
+            "ledger": list(self._ledger),
+            "ledger_capacity": self.ledger_capacity,
+            "clustered_on": self.clustered_on,
+        }
+
+    @classmethod
+    def from_image(cls, image: dict) -> "Table":
+        """Rebuild a table from :meth:`to_image` output."""
+        table = cls(image["name"], image["schema"], page_size=image["page_size"])
+        rows = image["rows"]
+        for start in range(0, len(rows), table.page_size):
+            table._pages.append(list(rows[start:start + table.page_size]))
+        table._num_rows = len(rows)
+        table._version = image["version"]
+        table._ledger = list(image["ledger"])
+        table.ledger_capacity = image.get("ledger_capacity", DEFAULT_LEDGER_CAPACITY)
+        table.clustered_on = image.get("clustered_on")
+        return table
+
+    def apply_logged_mutation(
+        self, entry: LedgerEntry, rows: list[tuple], clustered_on: str | None
+    ) -> None:
+        """Re-apply one WAL-logged mutation during recovery.
+
+        Bypasses :meth:`_bump` entirely: the original :class:`LedgerEntry` is
+        appended verbatim and the version counter is set to the entry's, so
+        the reconstructed ledger is indistinguishable from the pre-crash one
+        and observers (not yet attached during recovery anyway) never re-log
+        a replayed record.  ``rows`` are the appended tail for ``append``
+        entries and the full post-mutation row image for rewrites.
+        """
+        if entry.kind == "append":
+            remaining = list(rows)
+            if self._pages and len(self._pages[-1]) < self.page_size:
+                space = self.page_size - len(self._pages[-1])
+                self._pages[-1].extend(remaining[:space])
+                remaining = remaining[space:]
+            for start in range(0, len(remaining), self.page_size):
+                self._pages.append(list(remaining[start:start + self.page_size]))
+        else:
+            self._pages = [
+                list(rows[start:start + self.page_size])
+                for start in range(0, len(rows), self.page_size)
+            ]
+        self._num_rows = entry.rows_after
+        self.clustered_on = clustered_on
+        self._version = entry.version
+        self._ledger.append(entry)
+        if len(self._ledger) > self.ledger_capacity:
+            del self._ledger[: len(self._ledger) - self.ledger_capacity]
 
     # ------------------------------------------------------------ partitioning
     def partition(self, num_segments: int) -> list["Table"]:

@@ -1,0 +1,282 @@
+"""Per-database write-ahead log with torn-write-safe framing.
+
+Every ledger-classified mutation an engine applies (``insert``,
+``insert_many``, rewrites such as ``shuffle``/``cluster_by``/``truncate``,
+plus DDL: table create/drop) is appended to the database's WAL *after* it is
+applied in memory and *before* control returns to the caller, so a process
+that dies at any instant can be reopened and replayed to the exact mutation
+boundary it last completed.
+
+Physical layout — the database directory holds numbered **segments**::
+
+    wal-000000.log          9-byte header, then records
+    wal-000001.log          the active segment (highest index)
+
+Each checkpoint records the ``(segment, offset)`` the log had reached; after
+a successful checkpoint the log **rotates** to a fresh segment and segments
+older than the checkpointed one are pruned.  Recovery therefore replays: the
+checkpointed segment from the stored offset, then every later segment in
+full.  Rotation (rather than in-place truncation) is what makes the replay
+boundary unambiguous when the process dies *between* checkpoint rename and
+log reset.
+
+Record framing is torn-write-safe: a fixed ``<II`` header (payload length,
+CRC-32 of the payload) precedes each pickled payload.  A crash mid-append
+leaves a tail whose length or checksum cannot validate; :func:`scan_segment`
+stops at the first such record and reports the number of clean bytes, and
+:func:`repair_wal_directory` truncates the torn tail before the log is
+reopened for append.  Only the *last* segment can ever be torn — earlier
+segments were rotated away whole.
+
+Fsync policy is per-database (``Database(durability=...)``):
+
+* ``"off"`` — no WAL at all; durability is checkpoint-granular.
+* ``"buffered"`` (default) — every append is flushed to the OS page cache
+  (``file.flush()``), so the record survives the *process* dying (SIGKILL,
+  the crash-injection harness) but not the machine.
+* ``"fsync"`` — every append is also ``os.fsync``'d: machine-crash durable,
+  one disk round-trip per mutation.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from .errors import EnvSpecError, ExecutionError
+
+#: Record framing: payload length + CRC-32 of the payload.
+RECORD_HEADER = struct.Struct("<II")
+
+#: Segment file header: magic + format version + segment index.
+SEGMENT_MAGIC = b"BWAL1"
+SEGMENT_HEADER = struct.Struct("<I")
+SEGMENT_HEADER_SIZE = len(SEGMENT_MAGIC) + SEGMENT_HEADER.size
+
+DURABILITY_MODES = ("off", "buffered", "fsync")
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """How hard the engine tries to keep mutations after a crash."""
+
+    mode: str = "buffered"
+
+    def __post_init__(self) -> None:
+        if self.mode not in DURABILITY_MODES:
+            raise EnvSpecError(
+                f"unknown durability mode {self.mode!r}; expected one of {DURABILITY_MODES}"
+            )
+
+    @property
+    def wal_enabled(self) -> bool:
+        return self.mode != "off"
+
+    @property
+    def fsync(self) -> bool:
+        return self.mode == "fsync"
+
+    @classmethod
+    def resolve(cls, value: "DurabilityPolicy | str | None") -> "DurabilityPolicy":
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        return cls(mode=str(value).lower())
+
+
+def _segment_path(directory: Path, index: int) -> Path:
+    return directory / f"wal-{index:06d}.log"
+
+
+def segment_files(directory: Path) -> list[tuple[int, Path]]:
+    """``(index, path)`` of every WAL segment in the directory, ordered."""
+    found = []
+    for path in directory.glob("wal-*.log"):
+        try:
+            index = int(path.stem.split("-", 1)[1])
+        except (IndexError, ValueError):
+            continue
+        found.append((index, path))
+    return sorted(found)
+
+
+def scan_segment(path: Path) -> tuple[list[tuple[int, Any]], int, int]:
+    """Validate one segment; returns ``(records, clean_length, torn_bytes)``.
+
+    ``records`` is ``[(offset, payload), ...]`` for every record whose frame
+    validates, in order.  ``clean_length`` is the byte length of the valid
+    prefix (header + whole records); everything past it — a short header, a
+    short payload, or a CRC mismatch — is torn tail, reported as
+    ``torn_bytes``.  A segment whose file header is itself unreadable is
+    treated as entirely torn (``clean_length`` 0).
+    """
+    data = path.read_bytes()
+    if len(data) < SEGMENT_HEADER_SIZE or not data.startswith(SEGMENT_MAGIC):
+        return [], 0, len(data)
+    records: list[tuple[int, Any]] = []
+    offset = SEGMENT_HEADER_SIZE
+    while offset < len(data):
+        if offset + RECORD_HEADER.size > len(data):
+            break
+        length, checksum = RECORD_HEADER.unpack_from(data, offset)
+        start = offset + RECORD_HEADER.size
+        end = start + length
+        if end > len(data):
+            break
+        payload_bytes = data[start:end]
+        if zlib.crc32(payload_bytes) != checksum:
+            break
+        records.append((offset, pickle.loads(payload_bytes)))
+        offset = end
+    return records, offset, len(data) - offset
+
+
+def repair_wal_directory(directory: Path) -> int:
+    """Truncate the torn tail of the last (active) segment.
+
+    A crash can only tear the segment that was being appended to; earlier
+    segments were rotated away whole.  Returns the number of torn bytes
+    discarded (0 when the log is clean or absent).
+    """
+    segments = segment_files(directory)
+    if not segments:
+        return 0
+    index, path = segments[-1]
+    _, clean_length, torn = scan_segment(path)
+    if torn:
+        with open(path, "r+b") as handle:
+            handle.truncate(clean_length)
+        if clean_length == 0:
+            # Even the segment header was torn (crash mid-rotate): rewrite it
+            # so the segment is a valid empty log again.
+            with open(path, "wb") as handle:
+                handle.write(SEGMENT_MAGIC + SEGMENT_HEADER.pack(index))
+                handle.flush()
+                os.fsync(handle.fileno())
+    return torn
+
+
+def iter_wal_records(
+    directory: Path, after: "tuple[int, int] | None" = None
+) -> Iterator[Any]:
+    """Yield record payloads past a checkpoint position, in log order.
+
+    ``after`` is the ``(segment, offset)`` a checkpoint recorded — records at
+    or past that offset in that segment, plus every later segment in full,
+    are yielded.  ``None`` replays the whole log (no checkpoint ever
+    happened).  Call :func:`repair_wal_directory` first; this iterator stops
+    at (rather than repairs) torn tails.
+    """
+    start_segment, start_offset = after if after is not None else (-1, 0)
+    for index, path in segment_files(directory):
+        if index < start_segment:
+            continue
+        records, _, _ = scan_segment(path)
+        for offset, payload in records:
+            if index == start_segment and offset < start_offset:
+                continue
+            yield payload
+
+
+class WriteAheadLog:
+    """Append handle on a database directory's WAL.
+
+    Opens (creating if needed) the highest-numbered segment for append; the
+    caller must have repaired torn tails first (the engine's recovery path
+    does).  ``append`` is atomic at record granularity with respect to
+    recovery: a record either replays whole or is discarded as torn tail.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        policy: DurabilityPolicy | None = None,
+        *,
+        crash: "object | None" = None,
+    ):
+        self.directory = Path(directory)
+        self.policy = policy or DurabilityPolicy()
+        self._crash = crash
+        self._file = None
+        self.closed = False
+        segments = segment_files(self.directory)
+        if segments:
+            self._segment = segments[-1][0]
+            self._file = open(segments[-1][1], "ab")
+            self._offset = self._file.tell()
+        else:
+            self._segment = 0
+            self._start_segment(0)
+
+    def _start_segment(self, index: int) -> None:
+        self._segment = index
+        self._file = open(_segment_path(self.directory, index), "ab")
+        self._file.write(SEGMENT_MAGIC + SEGMENT_HEADER.pack(index))
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._offset = SEGMENT_HEADER_SIZE
+
+    def position(self) -> tuple[int, int]:
+        """Current end of log as ``(segment, offset)`` — the replay boundary
+        a checkpoint taken *now* should record."""
+        return (self._segment, self._offset)
+
+    def append(self, record: Any) -> tuple[int, int]:
+        """Frame, write and flush one record; returns its ``(segment, offset)``."""
+        if self.closed:
+            raise ExecutionError("write-ahead log is closed")
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        header = RECORD_HEADER.pack(len(payload), zlib.crc32(payload))
+        if self._crash is not None and self._crash.should_fire("wal_append"):
+            # A real torn write: half the frame reaches the OS, then the
+            # process dies.  Recovery must discard exactly this tail.
+            self._file.write(header + payload[: len(payload) // 2 + 1])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._crash.fire()
+        position = (self._segment, self._offset)
+        self._file.write(header)
+        self._file.write(payload)
+        self._file.flush()
+        if self.policy.fsync:
+            os.fsync(self._file.fileno())
+        self._offset += RECORD_HEADER.size + len(payload)
+        return position
+
+    def rotate(self) -> int:
+        """Switch appends to a fresh segment (called after a checkpoint)."""
+        if self.closed:
+            raise ExecutionError("write-ahead log is closed")
+        self._file.flush()
+        self._file.close()
+        self._start_segment(self._segment + 1)
+        return self._segment
+
+    def prune(self, keep_from: int) -> int:
+        """Delete segments with index < ``keep_from``; returns how many."""
+        removed = 0
+        for index, path in segment_files(self.directory):
+            if index < keep_from:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def flush(self) -> None:
+        if not self.closed:
+            self._file.flush()
+            if self.policy.fsync:
+                os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Flush and close the active segment.  Idempotent."""
+        if self.closed:
+            return
+        self.flush()
+        self._file.close()
+        self.closed = True

@@ -30,6 +30,7 @@ from .ordering import (
     run_catx_experiment,
     run_data_ordering_experiment,
 )
+from .crash_recovery import CrashRecoveryResult, run_crash_recovery_experiment
 from .fault_tolerance import FaultRecoveryResult, run_fault_recovery_experiment
 from .overhead import OverheadRow, OverheadTableResult, run_overhead_table
 from .parallelism import (
@@ -54,6 +55,7 @@ __all__ = [
     "CATXResult",
     "CRFComparisonResult",
     "ComparisonRow",
+    "CrashRecoveryResult",
     "DataOrderingResult",
     "DatasetsTableResult",
     "ExperimentScale",
@@ -78,6 +80,7 @@ __all__ = [
     "run_benchmark_comparison",
     "run_buffer_size_experiment",
     "run_catx_experiment",
+    "run_crash_recovery_experiment",
     "run_crf_comparison",
     "run_data_ordering_experiment",
     "run_fault_recovery_experiment",

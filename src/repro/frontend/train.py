@@ -14,6 +14,7 @@ summary string — mirroring how MADlib's training functions behave.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Mapping
 
 import numpy as np
@@ -81,23 +82,51 @@ def _warm_start(database, task, table_name: str, model_name: str):
 
 
 def _train_and_persist(database, task, table_name: str, model_name: str, config: IGDConfig) -> str:
-    runner = BismarckRunner(database, task, config)
-    warm = _warm_start(database, task, table_name, model_name)
-    if warm is not None:
-        result = runner.partial_fit(
-            table_name,
-            initial_model=warm[0],
-            since_version=warm[1],
-            full_pass_every=DEFAULT_FULL_PASS_EVERY,
+    catalog = _catalog(database)
+    if getattr(catalog, "durable", False) and config.checkpoint_every <= 0:
+        # Durable engines get crash-safe training for free: checkpoint every
+        # epoch under the model's name, so an interrupted SQL train resumes
+        # instead of restarting.
+        config = replace(
+            config, checkpoint_every=1, checkpoint_name=model_name.lower()
         )
-        mode = "continued" if result.ordering_name.startswith("delta") else "retrained"
+    state_name = (config.checkpoint_name or model_name).lower()
+    runner = BismarckRunner(database, task, config)
+
+    state = catalog.training_state(state_name)
+    if (
+        state is not None
+        and state.task == task.describe()
+        and state.table_name == table_name.lower()
+    ):
+        # A crash interrupted this exact training run mid-way: continue it
+        # from the recovered TrainingState (bit-for-bit for deterministic
+        # schemes) rather than warm-starting from the last *persisted* model.
+        result = runner.partial_fit(table_name, resume_from=state)
+        mode = "resumed"
     else:
-        result = runner.train(table_name)
-        mode = "trained"
+        warm = _warm_start(database, task, table_name, model_name)
+        if warm is not None:
+            result = runner.partial_fit(
+                table_name,
+                initial_model=warm[0],
+                since_version=warm[1],
+                full_pass_every=DEFAULT_FULL_PASS_EVERY,
+            )
+            mode = "continued" if result.ordering_name.startswith("delta") else "retrained"
+        else:
+            result = runner.train(table_name)
+            mode = "trained"
     save_model(
         database, model_name, result.model,
         source_table=table_name, table_version=result.table_version,
     )
+    # Only after the model is durably persisted may the in-flight training
+    # state be forgotten: a crash between training and save_model must still
+    # resume.  The final checkpoint folds both into one snapshot.
+    catalog.clear_training_state(state_name)
+    if getattr(catalog, "durable", False):
+        catalog.checkpoint()
     return (
         f"model '{model_name}' {mode} with {task.name}: "
         f"epochs={result.epochs_run}, objective={result.final_objective:.6g}"

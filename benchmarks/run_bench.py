@@ -84,6 +84,7 @@ def _figures(scale: str) -> dict:
         run_mrs_convergence,
         run_overhead_table,
         run_parallel_convergence,
+        run_payload_transport_experiment,
         run_scalability_experiment,
         run_speedup_experiment,
         run_streaming_ingest_experiment,
@@ -106,6 +107,7 @@ def _figures(scale: str) -> dict:
         "crash_recovery": lambda: run_crash_recovery_experiment(scale),
         "fig10a_mrs": lambda: run_mrs_convergence(scale),
         "streaming_ingest": lambda: run_streaming_ingest_experiment(scale),
+        "payload_transport": lambda: run_payload_transport_experiment(scale),
     }
 
 

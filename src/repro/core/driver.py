@@ -85,10 +85,22 @@ class IGDConfig:
     checkpoint_every: int = 0
     #: Name the training state is saved under (defaults to the table name).
     checkpoint_name: str | None = None
+    #: Numeric dtype of the chunk plane's dense feature payloads.
+    #: ``"float64"`` (default) keeps every deterministic path bit-for-bit;
+    #: ``"float32"`` opts the vectorized kernels and shared-memory chunk
+    #: pages into half-width features — the model itself stays float64 and
+    #: numpy's upcasting rules mix the two, so results stay in the same
+    #: objective band but are *not* bit-equal to float64 runs.
+    compute_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.execution not in ("auto", "per_tuple", "chunked"):
             raise ValueError(f"unknown execution mode {self.execution!r}")
+        if self.compute_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"unknown compute dtype {self.compute_dtype!r}; "
+                "expected 'float64' or 'float32'"
+            )
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
         schedule = make_batch_schedule(self.batch_size)
@@ -611,6 +623,7 @@ class BismarckRunner:
             row_order=row_order,
             execution=self.config.execution,
             workers=getattr(spec, "workers", 1) or 1,
+            compute_dtype=self.config.compute_dtype,
             train=TrainEpochContext(
                 task=self.task,
                 model=model,
@@ -640,6 +653,7 @@ class BismarckRunner:
             lambda: LossAggregate(self.task, model),
             execution=self.config.execution,
             workers=workers,
+            compute_dtype=self.config.compute_dtype,
         )
         data_term = backend.run(plan)
         return float(data_term) + proximal.penalty(model)

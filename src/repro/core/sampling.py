@@ -271,15 +271,36 @@ def run_multiplexed_reservoir_sampling(
     inputs), so swapping buffers moves integers, never example payloads, and
     both workers read the same cache-decoded examples every other backend
     serves.  The two workers stay interleaved per tuple — that interleaving
-    *is* the MRS schedule — so this runner keeps per-example steps.
+    *is* the MRS schedule — but the interleaving only decides *which* index
+    steps *when*: sampling never reads the model, so the epoch's step
+    sequence is fully determined before any gradient runs.  Table inputs
+    resolved through a shared ``cache`` therefore collect the interleaved
+    step indices first and replay them through the task's chunked IGD kernel
+    over batches gathered from the cached chunk plane (``take``/``concat``,
+    one chunk in flight at a time) — bit-for-bit the per-example loop, which
+    remains the fallback for list inputs or batch-less tasks.
     """
     import time
 
     rng = np.random.default_rng(seed)
     schedule = make_schedule(step_size)
     proximal = proximal if proximal is not None else task.proximal or IdentityProximal()
-    data, _table = _materialize(examples, task, cache)
+    data, table = _materialize(examples, task, cache)
     evaluation = list(objective_examples) if objective_examples is not None else data
+
+    # Chunk-plane fast path: cached decoded batches with gather kernels.  The
+    # reservoir interleaving below still runs per index (identical RNG draws,
+    # identical step order); only the gradient arithmetic moves into
+    # vectorized per-chunk kernels.
+    batches: list | None = None
+    if table is not None and cache is not None and getattr(task, "supports_batches", False):
+        batches = cache.batches_for(table, task, DEFAULT_CHUNK_SIZE)
+        if batches is not None and (
+            not batches
+            or not hasattr(batches[0], "take")
+            or not hasattr(type(batches[0]), "concat")
+        ):
+            batches = None
 
     capacity = min(buffer_size, max(1, len(data) - 1))
     model = task.initial_model(rng)
@@ -293,24 +314,47 @@ def run_multiplexed_reservoir_sampling(
     for epoch in range(epochs):
         start = time.perf_counter()
         sampler = ReservoirSampler(capacity, rng)  # buffer A for this pass
-        for index in range(len(data)):
-            # --- I/O worker: reservoir + gradient step on the dropped tuple.
-            dropped = sampler.offer(index)
-            if dropped is not None:
-                alpha = schedule.step_size(steps, epoch)
-                task.gradient_step(model, data[dropped], alpha)
-                proximal.apply(model, alpha)
-                steps += 1
-            # --- Memory worker: loop over buffer B concurrently.
-            for _ in range(memory_steps_per_io):
-                if not memory_buffer:
-                    break
-                buffered = memory_buffer[memory_cursor % len(memory_buffer)]
-                memory_cursor += 1
-                alpha = schedule.step_size(steps, epoch)
-                task.gradient_step(model, data[buffered], alpha)
-                proximal.apply(model, alpha)
-                steps += 1
+        if batches is not None:
+            # Collect the interleaved MRS step sequence (dropped-tuple steps
+            # and memory-worker steps, in schedule order), then replay it
+            # through the chunked kernel — one gathered chunk in flight at a
+            # time, so memory stays bounded by the chunk size.
+            step_indices: list[int] = []
+            for index in range(len(data)):
+                dropped = sampler.offer(index)
+                if dropped is not None:
+                    step_indices.append(dropped)
+                for _ in range(memory_steps_per_io):
+                    if not memory_buffer:
+                        break
+                    step_indices.append(memory_buffer[memory_cursor % len(memory_buffer)])
+                    memory_cursor += 1
+            ordinals = np.asarray(step_indices, dtype=np.intp)
+            for start in range(0, ordinals.shape[0], DEFAULT_CHUNK_SIZE):
+                block = ordinals[start:start + DEFAULT_CHUNK_SIZE]
+                for batch in gather_batches(batches, block, DEFAULT_CHUNK_SIZE):
+                    alphas = schedule.step_sizes(steps, len(batch), epoch)
+                    task.igd_chunk(model, batch, alphas, proximal)
+                    steps += len(batch)
+        else:
+            for index in range(len(data)):
+                # --- I/O worker: reservoir + gradient step on the dropped tuple.
+                dropped = sampler.offer(index)
+                if dropped is not None:
+                    alpha = schedule.step_size(steps, epoch)
+                    task.gradient_step(model, data[dropped], alpha)
+                    proximal.apply(model, alpha)
+                    steps += 1
+                # --- Memory worker: loop over buffer B concurrently.
+                for _ in range(memory_steps_per_io):
+                    if not memory_buffer:
+                        break
+                    buffered = memory_buffer[memory_cursor % len(memory_buffer)]
+                    memory_cursor += 1
+                    alpha = schedule.step_size(steps, epoch)
+                    task.gradient_step(model, data[buffered], alpha)
+                    proximal.apply(model, alpha)
+                    steps += 1
         # Swap buffers: the freshly filled reservoir becomes the memory worker's.
         memory_buffer = sampler.sample()
         memory_cursor = 0

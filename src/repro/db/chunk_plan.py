@@ -167,6 +167,7 @@ class ChunkPlan:
         where: "Expression | None" = None,
         row_order: Sequence[int] | None = None,
         functions: Mapping[str, Callable] | None = None,
+        dtype: str = "float64",
     ) -> "ChunkPlan | None":
         """Resolve a plan through the cache; None when the pass cannot chunk.
 
@@ -182,7 +183,7 @@ class ChunkPlan:
         """
         if decoder is None:
             return None
-        batches = cache.batches_for(table, decoder, chunk_size)
+        batches = cache.batches_for(table, decoder, chunk_size, dtype=dtype)
         if batches is None:
             return None
         if where is None and row_order is None:
@@ -206,7 +207,7 @@ class ChunkPlan:
         # one dataset-sized gathered copy is retained at a time.  Orders are
         # treated as immutable: mutating a row_order sequence in place
         # between passes is not supported.
-        slot_key = ("gathered", id(decoder), chunk_size)
+        slot_key = ("gathered", id(decoder), chunk_size, dtype)
         identity = (
             None if row_order is None else id(row_order),
             None if mask is None else id(mask),

@@ -83,6 +83,7 @@ class Database:
         path: "str | Path | None" = None,
         durability: "DurabilityPolicy | str | None" = None,
         crashes: "Sequence | None" = None,
+        payload_transport: "str | None" = None,
     ):
         if isinstance(personality, str):
             try:
@@ -102,6 +103,22 @@ class Database:
         #: read REPRO_FAULT at pool creation).
         self.recovery_policy = recovery
         self.fault_plans = faults
+        #: Payload transport for engine-created pools: ``auto`` (pages where
+        #: possible), ``pages``, ``pickle``, or None → REPRO_PAYLOAD_TRANSPORT
+        #: at pool creation.  Validated eagerly, like the specs below.
+        if payload_transport is None:
+            from .process_backend import resolve_payload_transport
+
+            resolve_payload_transport()
+        else:
+            from .process_backend import PAYLOAD_TRANSPORTS
+
+            if payload_transport not in PAYLOAD_TRANSPORTS:
+                raise ExecutionError(
+                    f"unknown payload transport {payload_transport!r}; "
+                    f"expected one of {PAYLOAD_TRANSPORTS}"
+                )
+        self.payload_transport = payload_transport
         # Fail loudly on malformed env specs *at construction* instead of
         # deep inside the first pool build or training epoch: validate
         # REPRO_RECOVERY_* and REPRO_FAULT eagerly whenever the engine would
@@ -383,6 +400,7 @@ class Database:
                 policy=self.recovery_policy,
                 faults=self.fault_plans,
                 on_event=self.record_recovery_event,
+                transport=self.payload_transport,
             )
             self._process_pools[workers] = pool
         return pool

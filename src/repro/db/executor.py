@@ -94,6 +94,11 @@ class Executor:
         self.chunk_size = chunk_size
         #: Bound on retained ExampleCache entries (LRU by last touch).
         self.cache_entries = cache_entries
+        #: Compute dtype of the chunk plane's dense feature payloads:
+        #: ``"float64"`` (bit-for-bit default) or ``"float32"`` (opt-in —
+        #: halves page bytes; the model stays float64).  Set per pass by the
+        #: plan backends from :attr:`~repro.db.pass_plan.PassPlan.compute_dtype`.
+        self.compute_dtype = "float64"
         self._example_cache = None  # built lazily (avoids a db<->tasks import cycle)
         #: Simulated fixed cost charged per tuple fed to an aggregate; the
         #: engine personalities use this to model per-engine differences
@@ -277,6 +282,7 @@ class Executor:
             where=where,
             row_order=row_order,
             functions=self.functions,
+            dtype=self.compute_dtype,
         )
 
     def consume_chunk_plan(

@@ -60,6 +60,7 @@ class SegmentedDatabase:
         path: "object | None" = None,
         durability: "object | None" = None,
         crashes: "Sequence | None" = None,
+        payload_transport: "str | None" = None,
     ):
         self.master = Database(
             personality,
@@ -69,6 +70,7 @@ class SegmentedDatabase:
             path=path,
             durability=durability,
             crashes=crashes,
+            payload_transport=payload_transport,
         )
         if num_segments is not None and num_segments <= 0:
             raise ExecutionError("num_segments must be positive")

@@ -38,6 +38,7 @@ Merge contract (what makes plans backend-portable):
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
@@ -106,6 +107,10 @@ class PassPlan:
     #: True when the aggregate declared ``chunk_partitionable`` (scalar
     #: reduction) — parallel backends deal whole cached chunks to workers.
     chunk_partitionable: bool = False
+    #: Compute dtype of the chunk plane for this pass: ``"float64"`` (the
+    #: bit-for-bit default) or ``"float32"`` (opt-in, halves chunk bytes).
+    #: Backends install it on the executor for the duration of the pass.
+    compute_dtype: str = "float64"
     train: TrainEpochContext | None = None
 
     def revalidate(self) -> "PassPlan":
@@ -153,6 +158,7 @@ def compile_pass(
     row_order: "Sequence[int] | None" = None,
     execution: str = "auto",
     workers: int = 1,
+    compute_dtype: str = "float64",
     train: TrainEpochContext | None = None,
 ) -> PassPlan:
     """Compile one pass to a backend-neutral plan.
@@ -167,6 +173,10 @@ def compile_pass(
         raise ExecutionError(f"unknown execution mode {execution!r}")
     if workers <= 0:
         raise ExecutionError("pass workers must be positive")
+    if compute_dtype not in ("float64", "float32"):
+        raise ExecutionError(
+            f"unknown compute dtype {compute_dtype!r}; expected 'float64' or 'float32'"
+        )
     if kind == "train" and train is None:
         raise ExecutionError("train passes require a TrainEpochContext")
     mergeable = True
@@ -190,8 +200,26 @@ def compile_pass(
         workers=workers,
         mergeable=mergeable,
         chunk_partitionable=chunk_partitionable,
+        compute_dtype=compute_dtype,
         train=train,
     )
+
+
+@contextmanager
+def _pass_compute_dtype(executor: Any, plan: PassPlan):
+    """Install the plan's compute dtype on the executor for one pass.
+
+    The executor attribute is what the chunk-plan resolution (and through it
+    the cache and the process backend's payload keys) reads; restoring it on
+    exit keeps a float32 pass from leaking its dtype into unrelated passes
+    on the same engine.
+    """
+    previous = getattr(executor, "compute_dtype", "float64")
+    executor.compute_dtype = plan.compute_dtype
+    try:
+        yield executor
+    finally:
+        executor.compute_dtype = previous
 
 
 # ---------------------------------------------------------------------------
@@ -231,7 +259,10 @@ class SerialBackend(ExecutionBackend):
 
     def run(self, plan: PassPlan) -> Any:
         plan.check_version()
-        executor = self.engine.executor
+        with _pass_compute_dtype(self.engine.executor, plan) as executor:
+            return self._run(executor, plan)
+
+    def _run(self, executor: Any, plan: PassPlan) -> Any:
         if plan.kind == "train":
             context = plan.train
             model = executor.run_aggregate(
@@ -462,7 +493,10 @@ class ProcessBackend(ExecutionBackend):
                 return self._degrade(plan, reason=str(error))
 
     def _execute(self, plan: PassPlan) -> Any:
-        executor = self.engine.executor
+        with _pass_compute_dtype(self.engine.executor, plan) as executor:
+            return self._execute_with(executor, plan)
+
+    def _execute_with(self, executor: Any, plan: PassPlan) -> Any:
         if plan.kind == "train":
             from .process_backend import run_process_shared_memory_epoch
             from .shared_memory import SharedMemoryParallelism

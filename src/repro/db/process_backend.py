@@ -41,8 +41,10 @@ by statistical objective-band assertions instead.
 from __future__ import annotations
 
 import atexit
+import io
 import os
 import pickle
+import time
 import traceback
 import weakref
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
@@ -51,11 +53,13 @@ import numpy as np
 
 from .aggregates import merge_partial_states
 from .chunk_plan import resolve_ordinals, split_round_robin
-from .errors import ExecutionError, WorkerDiedError
+from .errors import EnvSpecError, ExecutionError, WorkerDiedError
 from .fault import FaultInjector, FaultPlan
 from .shared_memory import (
+    ChunkPageSet,
     SharedMemoryArena,
     SharedMemoryParallelism,
+    attach_chunk_pages,
     attach_shared_array,
     fork_context,
 )
@@ -79,6 +83,129 @@ def available_cores() -> int:
 def default_process_workers() -> int:
     """Default pool size for the process backend: one worker per core."""
     return max(1, available_cores())
+
+
+# ---------------------------------------------------------------------------
+# Payload transport: zero-copy chunk pages vs pickled bytes
+# ---------------------------------------------------------------------------
+#: Transport modes.  ``auto`` (the default) publishes any payload containing
+#: dense numeric arrays as shared-memory chunk pages and pickles the rest;
+#: ``pages`` is the same policy spelled as an explicit request (useful to CI);
+#: ``pickle`` forces the PR-4 pickled-bytes transport everywhere.
+PAYLOAD_TRANSPORTS = ("auto", "pages", "pickle")
+
+
+def resolve_payload_transport(environ: "Mapping[str, str] | None" = None) -> str:
+    """Payload transport from ``REPRO_PAYLOAD_TRANSPORT`` (default ``auto``)."""
+    environ = os.environ if environ is None else environ
+    raw = environ.get("REPRO_PAYLOAD_TRANSPORT")
+    if raw is None or not raw.strip():
+        return "auto"
+    value = raw.strip().lower()
+    if value not in PAYLOAD_TRANSPORTS:
+        raise EnvSpecError(
+            f"REPRO_PAYLOAD_TRANSPORT={raw!r} is not a known transport; "
+            f"expected one of {PAYLOAD_TRANSPORTS}"
+        )
+    return value
+
+
+class _PagingPickler(pickle.Pickler):
+    """Pickles a payload skeleton, lifting dense arrays out into a page list.
+
+    Every non-object-dtype ndarray in the object graph is replaced by a
+    persistent-id stub (its index in :attr:`arrays`); everything else — CRF
+    metadata, task objects, Python lists, labels wrapped in examples —
+    pickles as usual.  Walking the graph through the pickler itself means
+    any payload shape (``ExampleBatch`` chunk lists, ``(examples, task)``
+    tuples, raw ``Row`` blocks) pages its arrays with no per-type code.
+    """
+
+    def __init__(self, buffer: io.BytesIO):
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self.arrays: list[np.ndarray] = []
+        self._seen: dict[int, int] = {}
+
+    def persistent_id(self, obj: Any) -> "int | None":
+        if type(obj) is np.ndarray and not obj.dtype.hasobject:
+            ref = self._seen.get(id(obj))
+            if ref is None:
+                ref = len(self.arrays)
+                self.arrays.append(obj)
+                self._seen[id(obj)] = ref
+            return ref
+        return None
+
+
+class _PageViewUnpickler(pickle.Unpickler):
+    """Rebuilds a paged skeleton, resolving array stubs to zero-copy views."""
+
+    def __init__(self, skeleton: bytes, views: "Sequence[np.ndarray]"):
+        super().__init__(io.BytesIO(skeleton))
+        self._views = views
+
+    def persistent_load(self, pid: int) -> np.ndarray:
+        return self._views[pid]
+
+
+class _PagedPayload:
+    """Page-transport wire form: a page descriptor plus the pickled skeleton.
+
+    This is what ``pickle.loads`` on the worker side yields for a paged
+    shipment — a few hundred bytes no matter how large the payload arrays
+    are.  :meth:`attach` maps the pages and rebuilds the original object
+    with every dense array replaced by a zero-copy view.
+    """
+
+    __slots__ = ("descriptor", "skeleton")
+
+    def __init__(self, descriptor: Any, skeleton: bytes):
+        self.descriptor = descriptor
+        self.skeleton = skeleton
+
+    def __getstate__(self) -> tuple:
+        return (self.descriptor, self.skeleton)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.descriptor, self.skeleton = state
+
+    def attach(self) -> "tuple[Any, Any]":
+        shm, views = attach_chunk_pages(self.descriptor)
+        payload = _PageViewUnpickler(self.skeleton, views).load()
+        return payload, shm
+
+
+#: Worker-side shared-memory handles whose ``close()`` raised BufferError
+#: (a dropped payload's views were still exported).  Held so their __del__
+#: cannot re-raise at GC time; the mapping dies with the worker process.
+_WORKER_DEFERRED_HANDLES: list = []
+
+
+def _release_page_handles(handles: "list | None") -> None:
+    """Close a dropped payload's page mappings (worker side).  Idempotent."""
+    if not handles:
+        return
+    for shm in handles:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - view still referenced
+            _WORKER_DEFERRED_HANDLES.append(shm)
+    handles.clear()
+
+
+def _decode_payload(data: bytes, handles: list) -> Any:
+    """Unpickle a shipped payload; paged shipments attach zero-copy views.
+
+    ``handles`` collects the shared-memory mappings the decoded payload's
+    views depend on; the caller owns releasing them when the payload is
+    replaced or dropped.
+    """
+    obj = pickle.loads(data)
+    if isinstance(obj, _PagedPayload):
+        payload, shm = obj.attach()
+        handles.append(shm)
+        return payload
+    return obj
 
 
 # ---------------------------------------------------------------------------
@@ -249,6 +376,10 @@ def _worker_main(
 ) -> None:
     """Long-lived worker loop: cache payloads, run epochs, return states."""
     payloads: dict = {}
+    #: Per-key shared-memory mappings backing paged payloads' views; released
+    #: when the payload is replaced or dropped so the pages' physical memory
+    #: is returned as soon as the last attachment goes away.
+    page_handles: dict = {}
     injector = FaultInjector(plans=faults, worker=worker_index) if faults else None
     # Workers forked after us inherit our command pipe's parent end, so a
     # SIGKILLed engine does not reliably EOF every pipe (siblings keep each
@@ -275,13 +406,25 @@ def _worker_main(
             if op == "ping":
                 conn.send(("ok", os.getpid()))
             elif op == "load":
-                payloads[msg[1]] = pickle.loads(msg[2])
+                old_handles = page_handles.pop(msg[1], None)
+                payloads.pop(msg[1], None)
+                handles: list = []
+                payloads[msg[1]] = _decode_payload(msg[2], handles)
+                if handles:
+                    page_handles[msg[1]] = handles
+                _release_page_handles(old_handles)
                 conn.send(("ok", None))
             elif op == "extend":
-                _apply_extend(payloads, msg[1], msg[2], pickle.loads(msg[3]))
+                # Delta pages attach *beside* the base's mappings: the
+                # resident payload keeps views into both until replaced.
+                handles = page_handles.setdefault(msg[1], [])
+                _apply_extend(payloads, msg[1], msg[2], _decode_payload(msg[3], handles))
+                if not handles:
+                    page_handles.pop(msg[1], None)
                 conn.send(("ok", None))
             elif op == "drop":
                 payloads.pop(msg[1], None)
+                _release_page_handles(page_handles.pop(msg[1], None))
                 conn.send(("ok", None))
             elif op == "uda_state":
                 conn.send(("ok", _run_uda_state(payloads, msg)))
@@ -312,14 +455,37 @@ class _PayloadRecord:
     A respawned worker is replayed the base and then the chain in order —
     exactly the bytes the original shipments used.  ``base_version`` is
     ``None`` for unversioned payloads (no delta shipping, no chain).
+
+    Under page transport the shipped bytes are only descriptors: ``pages``
+    pins the parent-side :class:`~repro.db.shared_memory.ChunkPageSet`
+    handles (base plus deltas) alive so those descriptors stay resolvable —
+    a respawn replay re-attaches the same pages.  ``base_kind`` /
+    ``delta_kinds`` record which transport each shipment used, for the
+    pool's byte accounting.
     """
 
-    __slots__ = ("base_version", "base_bytes", "deltas")
+    __slots__ = ("base_version", "base_bytes", "deltas", "pages", "base_kind", "delta_kinds")
 
-    def __init__(self, base_version: "int | None", base_bytes: bytes):
+    def __init__(
+        self,
+        base_version: "int | None",
+        base_bytes: bytes,
+        *,
+        pages: "ChunkPageSet | None" = None,
+        kind: str = "pickle",
+    ):
         self.base_version = base_version
         self.base_bytes = base_bytes
         self.deltas: list[tuple[int, str, bytes]] = []
+        self.pages: list = [pages] if pages is not None else []
+        self.base_kind = kind
+        self.delta_kinds: list[str] = []
+
+    def free_pages(self) -> None:
+        """Unlink every page set this record pinned.  Idempotent."""
+        for pages in self.pages:
+            pages.free()
+        self.pages.clear()
 
     @property
     def version(self) -> "int | None":
@@ -356,12 +522,40 @@ class ProcessWorkerPool:
     #: long streaming runs.
     max_delta_chain = 64
 
-    def __init__(self, workers: int, *, faults: "tuple[FaultPlan, ...]" = ()):
+    def __init__(
+        self,
+        workers: int,
+        *,
+        faults: "tuple[FaultPlan, ...]" = (),
+        transport: "str | None" = None,
+    ):
         if workers <= 0:
             raise ExecutionError("process pool needs at least one worker")
         self.workers = workers
         self._ctx = fork_context()
         self._faults = tuple(faults)
+        #: Payload transport: ``auto``/``pages`` page dense arrays through
+        #: ``/dev/shm``, ``pickle`` ships full pickled bytes (the PR-4 wire
+        #: format).  ``None`` reads ``REPRO_PAYLOAD_TRANSPORT``.
+        self.transport = resolve_payload_transport() if transport is None else transport
+        if self.transport not in PAYLOAD_TRANSPORTS:
+            raise ExecutionError(
+                f"unknown payload transport {self.transport!r}; "
+                f"expected one of {PAYLOAD_TRANSPORTS}"
+            )
+        #: Transport accounting: bytes that crossed pipes per transport kind,
+        #: bytes resident in published pages, publication (encode+copy)
+        #: seconds, payload counts and ``/dev/shm``-exhaustion fallbacks.
+        self.transport_stats: dict[str, Any] = {
+            "transport": self.transport,
+            "page_payloads": 0,
+            "pickle_payloads": 0,
+            "page_fallbacks": 0,
+            "page_bytes": 0,
+            "pages_bytes_shipped": 0,
+            "pickle_bytes_shipped": 0,
+            "publish_seconds": 0.0,
+        }
         #: Publication lock shared by every worker (inherited through fork).
         self.lock = self._ctx.Lock()
         self._conns = []
@@ -479,6 +673,62 @@ class ProcessWorkerPool:
             self._conns[worker].send_bytes(payload)
         return self._gather(list(messages))
 
+    # ------------------------------------------------------------- transport
+    def _encode_payload(self, payload: Any) -> "tuple[bytes, ChunkPageSet | None, str]":
+        """Encode one payload for shipment: ``(wire_bytes, pages, kind)``.
+
+        Under ``auto``/``pages`` the payload's dense arrays are published
+        once into a shared-memory page block and the wire bytes carry only
+        the descriptor plus the pickled skeleton; payloads with no dense
+        arrays — and every payload when ``/dev/shm`` allocation fails —
+        degrade to plain pickled bytes (``kind == "pickle"``).
+        """
+        stats = self.transport_stats
+        start = time.perf_counter()
+        if self.transport != "pickle":
+            buffer = io.BytesIO()
+            pickler = _PagingPickler(buffer)
+            pickler.dump(payload)
+            if pickler.arrays:
+                try:
+                    pages = ChunkPageSet.publish(pickler.arrays)
+                except OSError:
+                    # /dev/shm exhausted or unavailable: fall back to pickled
+                    # transport for this payload (first rung of the ladder).
+                    stats["page_fallbacks"] += 1
+                else:
+                    data = pickle.dumps(
+                        _PagedPayload(pages.descriptor, buffer.getvalue()),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    stats["page_payloads"] += 1
+                    stats["page_bytes"] += pages.nbytes
+                    stats["publish_seconds"] += time.perf_counter() - start
+                    return data, pages, "pages"
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        stats["pickle_payloads"] += 1
+        stats["publish_seconds"] += time.perf_counter() - start
+        return data, None, "pickle"
+
+    def _store_record(self, key: tuple, version: "int | None", payload: Any) -> _PayloadRecord:
+        """Encode a fresh base record for ``key``, freeing the one it replaces.
+
+        Freeing the replaced record's pages only unlinks the ``/dev/shm``
+        names — workers still resident on the old payload keep their
+        mappings alive until the new shipment lands.
+        """
+        data, pages, kind = self._encode_payload(payload)
+        record = _PayloadRecord(version, data, pages=pages, kind=kind)
+        old = self._payload_bytes.get(key)
+        if old is not None:
+            old.free_pages()
+        self._payload_bytes[key] = record
+        return record
+
+    def _count_shipped(self, kind: str, nbytes: int, workers: int) -> None:
+        field = "pages_bytes_shipped" if kind == "pages" else "pickle_bytes_shipped"
+        self.transport_stats[field] += nbytes * workers
+
     def ensure_loaded(
         self,
         worker_ids: Iterable[int],
@@ -519,11 +769,9 @@ class ProcessWorkerPool:
             if not missing:
                 return
             if record is None:
-                record = _PayloadRecord(
-                    None, pickle.dumps(build(), protocol=pickle.HIGHEST_PROTOCOL)
-                )
-                self._payload_bytes[key] = record
+                record = self._store_record(key, None, build())
             self._ship(missing, key, ("load", key, record.base_bytes), "load", None)
+            self._count_shipped(record.base_kind, len(record.base_bytes), len(missing))
             return
         pending = [w for w in worker_ids if self._loaded.get((w, key), -1) != version]
         if not pending:
@@ -535,9 +783,11 @@ class ProcessWorkerPool:
                 record = None  # rewrite (or no delta builder): rebuild below
             else:
                 mode, payload = delta
-                record.deltas.append(
-                    (version, mode, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
-                )
+                delta_bytes, delta_pages, delta_kind = self._encode_payload(payload)
+                record.deltas.append((version, mode, delta_bytes))
+                record.delta_kinds.append(delta_kind)
+                if delta_pages is not None:
+                    record.pages.append(delta_pages)
                 if len(record.deltas) > self.max_delta_chain:
                     # Compact: one fresh full pickle replaces the chain.
                     # Workers resident at `version` stay resident — their
@@ -546,10 +796,7 @@ class ProcessWorkerPool:
                     # full reshipment on their next use.
                     record = None
         if record is None:
-            record = _PayloadRecord(
-                version, pickle.dumps(build(), protocol=pickle.HIGHEST_PROTOCOL)
-            )
-            self._payload_bytes[key] = record
+            record = self._store_record(key, version, build())
         # Ship the base to workers holding nothing (or an off-chain copy),
         # then walk the delta chain, advancing every worker behind each step.
         chain = set(record.chain_versions())
@@ -561,7 +808,10 @@ class ProcessWorkerPool:
                 base_targets, key, ("load", key, record.base_bytes), "load",
                 record.base_version,
             )
-        for to_version, mode, delta_bytes in record.deltas:
+            self._count_shipped(
+                record.base_kind, len(record.base_bytes), len(base_targets)
+            )
+        for depth, (to_version, mode, delta_bytes) in enumerate(record.deltas):
             targets = [
                 w for w in pending if self._loaded[(w, key)] < to_version
             ]
@@ -569,6 +819,9 @@ class ProcessWorkerPool:
                 self._ship(
                     targets, key, ("extend", key, mode, delta_bytes), "extend",
                     to_version,
+                )
+                self._count_shipped(
+                    record.delta_kinds[depth], len(delta_bytes), len(targets)
                 )
 
     def _ship(
@@ -616,6 +869,10 @@ class ProcessWorkerPool:
         self._closed = True
         self._pins.clear()
         self._loaded.clear()
+        # Unlink every page set pinned by payload records: the names vanish
+        # from /dev/shm now, worker mappings die with the workers below.
+        for record in self._payload_bytes.values():
+            record.free_pages()
         self._payload_bytes.clear()
         self._inflight.clear()
         for conn in self._conns:
@@ -657,9 +914,11 @@ def payload_key(table: Table, decoder: Any) -> tuple:
     return ("examples", table.name, id(table), id(decoder))
 
 
-def batches_payload_key(table: Table, decoder: Any, chunk_size: int) -> tuple:
+def batches_payload_key(
+    table: Table, decoder: Any, chunk_size: int, dtype: str = "float64"
+) -> tuple:
     """Worker-side payload key for one table's cached columnar chunk list."""
-    return ("batches", table.name, id(table), id(decoder), chunk_size)
+    return ("batches", table.name, id(table), id(decoder), chunk_size, dtype)
 
 
 def rows_payload_key(table: Table) -> tuple:
@@ -849,7 +1108,10 @@ def run_process_chunk_aggregate(
         return _NO_CHUNK_PLAN
     batches = plan.batches
     width = _effective_workers(pool, workers, len(batches))
-    key = batches_payload_key(table, instance.chunk_decoder, executor.chunk_size)
+    compute_dtype = getattr(executor, "compute_dtype", "float64")
+    key = batches_payload_key(
+        table, instance.chunk_decoder, executor.chunk_size, compute_dtype
+    )
     chunk_size = executor.chunk_size
 
     def extend_batches(from_version: int) -> "tuple[str, Any] | None":

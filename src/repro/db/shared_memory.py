@@ -77,19 +77,154 @@ _DEFERRED_CLOSE: list = []
 
 
 def attach_shared_array(
-    os_name: str, shape: int | tuple[int, ...]
+    os_name: str, shape: int | tuple[int, ...], dtype: Any = np.float64
 ) -> "tuple[_mp_shared_memory.SharedMemory, np.ndarray]":
-    """Attach to an existing OS shared-memory block as a float64 array.
+    """Attach to an existing OS shared-memory block as a numpy array.
 
     This is the worker-process entry point: the parent ships the segment's
-    :attr:`SharedSegment.os_name` and shape, the worker maps the same pages.
+    :attr:`SharedSegment.os_name`, shape and dtype (float64 by default — the
+    model plane is always float64), the worker maps the same pages.
     Workers are *forked*, so they share the parent's resource-tracker process
     and attaching re-registers an already-tracked name (a set-level no-op);
     ownership — unlinking — stays with the allocating arena.  Callers must
     drop every numpy view before ``shm.close()``.
     """
     shm = _mp_shared_memory.SharedMemory(name=os_name)
-    return shm, np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+    return shm, np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+
+# ---------------------------------------------------------------------------
+# Chunk pages: one-shot published payload arrays (the page transport)
+# ---------------------------------------------------------------------------
+#: Byte alignment of each array inside a page block.  64 bytes keeps every
+#: array cache-line aligned regardless of the dtypes packed before it.
+PAGE_ALIGNMENT = 64
+
+
+@dataclass(frozen=True)
+class ChunkPageDescriptor:
+    """Compact picklable description of one published :class:`ChunkPageSet`.
+
+    This is what actually crosses the pipe under page transport: the OS
+    segment name plus, per array, ``(dtype_str, shape, offset)``.  A few
+    dozen bytes per array instead of the array itself.
+    """
+
+    segment: str
+    total_bytes: int
+    arrays: "tuple[tuple[str, tuple[int, ...], int], ...]"
+
+
+class ChunkPageSet:
+    """Dense payload arrays materialized once into a single ``/dev/shm`` block.
+
+    The parent publishes every dense array of a chunk payload (feature
+    matrices, CSR ``data``/``indices``/``indptr``, labels, ordinals) into one
+    named shared-memory block with aligned offsets; workers attach by OS name
+    (:func:`attach_chunk_pages`) and rebuild zero-copy numpy views.  Freeing
+    is idempotent and unlink-first, mirroring :meth:`SharedSegment.release`:
+    attached workers keep their mappings alive until they drop them, but the
+    ``/dev/shm`` name disappears immediately, so nothing leaks.
+    """
+
+    __slots__ = ("descriptor", "_shm", "_freed", "__weakref__")
+
+    def __init__(self, descriptor: ChunkPageDescriptor, shm: Any):
+        self.descriptor = descriptor
+        self._shm = shm
+        self._freed = False
+
+    @classmethod
+    def publish(cls, arrays: "Sequence[np.ndarray]") -> "ChunkPageSet":
+        """Copy ``arrays`` into one fresh shared-memory block.
+
+        Raises ``OSError`` when ``/dev/shm`` is exhausted or unavailable —
+        callers degrade to pickled transport on that signal.
+        """
+        metas: list[tuple[str, tuple[int, ...], int]] = []
+        staged: list[np.ndarray] = []
+        total = 0
+        for array in arrays:
+            array = np.ascontiguousarray(array)
+            if array.nbytes == 0:
+                metas.append((array.dtype.str, tuple(array.shape), 0))
+                staged.append(array)
+                continue
+            offset = -(-total // PAGE_ALIGNMENT) * PAGE_ALIGNMENT
+            metas.append((array.dtype.str, tuple(array.shape), offset))
+            staged.append(array)
+            total = offset + array.nbytes
+        shm = _mp_shared_memory.SharedMemory(create=True, size=max(total, 1))
+        for array, (dtype, shape, offset) in zip(staged, metas):
+            if array.nbytes == 0:
+                continue
+            view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+            view[...] = array
+            del view
+        descriptor = ChunkPageDescriptor(
+            segment=shm.name, total_bytes=max(total, 1), arrays=tuple(metas)
+        )
+        page_set = cls(descriptor, shm)
+        _LIVE_PAGE_SETS.add(page_set)
+        return page_set
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes resident in the page block."""
+        return self.descriptor.total_bytes
+
+    def free(self) -> None:
+        """Unlink the OS block and drop the parent-side handle.  Idempotent."""
+        if self._freed:
+            return
+        self._freed = True
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - view still exported
+            _DEFERRED_CLOSE.append(shm)
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - freed concurrently
+            pass
+
+    def __repr__(self) -> str:
+        state = "freed" if self._freed else f"{self.nbytes} bytes"
+        return f"ChunkPageSet(segment={self.descriptor.segment!r}, {state})"
+
+
+def attach_chunk_pages(
+    descriptor: ChunkPageDescriptor,
+) -> "tuple[_mp_shared_memory.SharedMemory, list[np.ndarray]]":
+    """Worker-side attach: zero-copy read-only views over a published page set.
+
+    Returns the shared-memory handle (the caller owns closing it once the
+    payload is dropped) and one view per descriptor entry, in publication
+    order.  Views are marked read-only: payload arrays are scan-side inputs,
+    and an accidental in-place write from one worker must not corrupt the
+    pages every other worker maps.
+    """
+    shm = _mp_shared_memory.SharedMemory(name=descriptor.segment)
+    views: list[np.ndarray] = []
+    for dtype, shape, offset in descriptor.arrays:
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        views.append(view)
+    return shm, views
+
+
+#: Live page sets swept at interpreter exit, exactly like :data:`_LIVE_ARENAS`:
+#: pool teardown frees pages deterministically, and the sweep covers
+#: interrupted runs that never reach it.
+_LIVE_PAGE_SETS: "weakref.WeakSet[ChunkPageSet]" = weakref.WeakSet()
+
+
+@atexit.register
+def _free_pages_at_exit() -> None:  # pragma: no cover - exercised at interpreter exit
+    for pages in list(_LIVE_PAGE_SETS):
+        pages.free()
 
 
 class SharedSegment:

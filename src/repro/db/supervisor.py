@@ -167,6 +167,7 @@ class SupervisedWorkerPool(ProcessWorkerPool):
         policy: RecoveryPolicy | None = None,
         faults: "Sequence[FaultPlan] | None" = None,
         on_event: Callable[[RecoveryEvent], None] | None = None,
+        transport: "str | None" = None,
     ):
         self.policy = policy if policy is not None else RecoveryPolicy.from_env()
         self.on_event = on_event
@@ -176,7 +177,7 @@ class SupervisedWorkerPool(ProcessWorkerPool):
         #: Recovery rounds consumed so far (compared against max_respawns).
         self.respawns_used = 0
         plans = faults_from_env() if faults is None else tuple(faults)
-        super().__init__(workers, faults=plans)
+        super().__init__(workers, faults=plans, transport=transport)
 
     # ------------------------------------------------------------- messaging
     def _gather(self, workers: Sequence[int]) -> dict[int, Any]:
@@ -331,10 +332,14 @@ class SupervisedWorkerPool(ProcessWorkerPool):
                 if key in self._payload_bytes:
                     replay.append((worker, key))
         # Base round: every (worker, key) re-receives the full base bytes.
+        # Under page transport those bytes are descriptors whose page sets
+        # the record pins alive — the rebuilt worker re-attaches the same
+        # /dev/shm pages the originals map.
         for worker, key in replay:
             record = self._payload_bytes[key]
             self._inflight[worker] = "load"
             self._conns[worker].send(("load", key, record.base_bytes))
+            self._count_shipped(record.base_kind, len(record.base_bytes), 1)
         if not replay:
             return 0
         # One reply is drained per *message*: workers holding several keys
@@ -354,6 +359,9 @@ class SupervisedWorkerPool(ProcessWorkerPool):
                     to_version, mode, delta_bytes = record.deltas[depth]
                     self._inflight[worker] = "extend"
                     self._conns[worker].send(("extend", key, mode, delta_bytes))
+                    self._count_shipped(
+                        record.delta_kinds[depth], len(delta_bytes), 1
+                    )
                     round_targets.append((worker, key))
             if not round_targets:
                 break

@@ -34,7 +34,7 @@ from ..core.driver import IGDConfig, train
 from ..core.parallel import PureUDAParallelism, SharedMemoryParallelism, modeled_speedup
 from ..db.engine import DBMS_B, Database
 from ..db.parallel import SegmentedDatabase
-from ..db.process_backend import available_cores
+from ..db.process_backend import available_cores, resolve_payload_transport
 from ..data import (
     load_classification_table,
     load_sequences_table,
@@ -138,6 +138,10 @@ class SpeedupResult:
     dataset: str = "classify_large"
     #: Measured per-epoch seconds per scheme (measured mode only).
     epoch_seconds: dict[str, list[float]] = field(default_factory=dict)
+    #: Payload transport the worker pools used ("auto"/"pages"/"pickle") and
+    #: the kernels' compute dtype — provenance for cross-snapshot comparisons.
+    transport: str = "auto"
+    compute_dtype: str = "float64"
 
     def render(self) -> str:
         headers = ["Workers"] + list(self.speedups)
@@ -170,6 +174,8 @@ class SpeedupResult:
             "mode": self.mode,
             "cores": self.cores,
             "dataset": self.dataset,
+            "transport": self.transport,
+            "compute_dtype": self.compute_dtype,
             "serial_epoch_seconds": round(self.serial_epoch_seconds, 4),
             "worker_counts": list(self.worker_counts),
             "speedups": {
@@ -256,6 +262,7 @@ def run_speedup_experiment(
         mode="measured" if measured else "modeled",
         cores=cores,
         dataset=dataset.name,
+        transport=resolve_payload_transport(),
     )
 
     if not measured:
@@ -336,6 +343,9 @@ class WholeLoopResult:
     #: pass (process-backed for the parallel modes — the same pass-plan
     #: machinery and worker pool the training loop uses).
     final_eval: dict[str, float] = field(default_factory=dict)
+    #: Worker-pool payload transport and kernel compute dtype provenance.
+    transport: str = "auto"
+    compute_dtype: str = "float64"
 
     def speedup_vs_gradient_only(self) -> float:
         """Steady-state whole-loop speed-up over the gradient-only shape."""
@@ -372,6 +382,8 @@ class WholeLoopResult:
             "epochs": self.epochs,
             "scheme": self.scheme,
             "dataset": self.dataset,
+            "transport": self.transport,
+            "compute_dtype": self.compute_dtype,
             "total_seconds": {k: round(v, 4) for k, v in self.total_seconds.items()},
             "steady_seconds": {k: round(v, 4) for k, v in self.steady_seconds.items()},
             "speedup_vs_gradient_only": round(self.speedup_vs_gradient_only(), 3),
@@ -404,7 +416,10 @@ def run_whole_loop_experiment(
     )
     num_sequences = len(corpus.examples)
     step_size = {"kind": "epoch_decay", "alpha0": 0.2, "decay": 0.9}
-    result = WholeLoopResult(workers=workers, cores=cores, epochs=epochs, scheme=scheme)
+    result = WholeLoopResult(
+        workers=workers, cores=cores, epochs=epochs, scheme=scheme,
+        transport=resolve_payload_transport(),
+    )
 
     def build() -> Database:
         database = Database("postgres", seed=seed)

@@ -1,0 +1,154 @@
+"""Payload transport: zero-copy chunk pages vs pickled bytes to process workers.
+
+The process backend ships each worker its cached chunk payloads exactly once
+(then residency + append deltas keep them warm), but *how* those bytes travel
+matters: pickling a dense feature matrix copies every float through the
+parent's pickler, the pipe, and the worker's unpickler.  The page transport
+instead publishes the payload's arrays into a named ``/dev/shm`` chunk page
+(:class:`~repro.db.shared_memory.ChunkPageSet`) and ships only a compact
+descriptor plus the non-array skeleton — workers attach by OS name and
+rebuild zero-copy numpy views.
+
+This experiment trains the identical model twice through the process backend
+— once with ``payload_transport="pickle"``, once with ``"pages"`` — and
+reports bytes shipped through the message pipe, publish seconds, and
+bit-for-bit parity of the resulting models (the transport must be invisible
+to the arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.driver import BismarckRunner, IGDConfig
+from ..core.parallel import PureUDAParallelism
+from ..data import load_classification_table, make_dense_classification
+from ..db.parallel import SegmentedDatabase
+from ..tasks.logistic_regression import LogisticRegressionTask
+from .harness import ExperimentScale, resolve_scale
+from .reporting import render_table
+
+
+@dataclass
+class PayloadTransportResult:
+    """Bytes shipped and publish cost, pickled transport vs chunk pages."""
+
+    rows: int
+    dimension: int
+    workers: int
+    epochs: int
+    #: ``pool.transport_stats`` snapshots, keyed by transport name.
+    stats: dict[str, dict] = field(default_factory=dict)
+    #: Final models bit-for-bit equal across the two transports.
+    models_match: bool = False
+    final_objectives: dict[str, float] = field(default_factory=dict)
+
+    def bytes_shipped(self, transport: str) -> int:
+        """Total payload bytes written to worker pipes under ``transport``."""
+        stats = self.stats[transport]
+        return int(stats["pages_bytes_shipped"]) + int(stats["pickle_bytes_shipped"])
+
+    @property
+    def bytes_ratio(self) -> float:
+        """Pickled bytes over page-transport bytes (higher = pages win)."""
+        paged = self.bytes_shipped("pages")
+        return self.bytes_shipped("pickle") / paged if paged else float("inf")
+
+    def render(self) -> str:
+        rows = [
+            (
+                transport,
+                str(self.bytes_shipped(transport)),
+                str(stats["page_payloads"]),
+                str(stats["pickle_payloads"]),
+                str(stats["page_fallbacks"]),
+                f"{stats['publish_seconds']:.4f}s",
+            )
+            for transport, stats in self.stats.items()
+        ]
+        return render_table(
+            ["Transport", "Bytes shipped", "Paged", "Pickled", "Fallbacks", "Publish"],
+            rows,
+            title=(
+                f"Payload transport ({self.rows}x{self.dimension} dense, "
+                f"{self.workers} workers, {self.epochs} epochs; "
+                f"pages ship {self.bytes_ratio:.1f}x fewer bytes, "
+                f"models {'match bit-for-bit' if self.models_match else 'DIVERGE'})"
+            ),
+        )
+
+    def bench_payload(self) -> dict:
+        return {
+            "rows": self.rows,
+            "dimension": self.dimension,
+            "workers": self.workers,
+            "epochs": self.epochs,
+            "pickle_bytes_shipped": self.bytes_shipped("pickle"),
+            "pages_bytes_shipped": self.bytes_shipped("pages"),
+            "bytes_ratio": round(self.bytes_ratio, 2),
+            "pickle_publish_seconds": round(self.stats["pickle"]["publish_seconds"], 4),
+            "pages_publish_seconds": round(self.stats["pages"]["publish_seconds"], 4),
+            "page_payloads": self.stats["pages"]["page_payloads"],
+            "page_fallbacks": self.stats["pages"]["page_fallbacks"],
+            "page_bytes": self.stats["pages"]["page_bytes"],
+            "models_match": self.models_match,
+            "final_objectives": {
+                transport: round(value, 6)
+                for transport, value in self.final_objectives.items()
+            },
+        }
+
+
+def run_payload_transport_experiment(
+    scale: ExperimentScale | str | None = None,
+    *,
+    workers: int = 2,
+    epochs: int = 2,
+    seed: int = 0,
+) -> PayloadTransportResult:
+    """Train the same model under both transports and compare shipped bytes.
+
+    Both runs are seeded identically and execute the same process-backend
+    plan (pure-UDA merged epochs — deterministic, unlike the racing
+    shared-model schemes — plus a chunk-partitioned parallel loss pass), so
+    the only difference is the wire encoding of the worker payloads — which
+    is why bit-for-bit model parity is part of the result, not a separate
+    test.
+    """
+    scale = resolve_scale(scale)
+    # Size the dense matrix so payload bytes dominate the per-example object
+    # skeleton (which ships either way): the page win is descriptor-vs-array
+    # floats, and the paper's workloads carry 54-41k features per row.
+    rows = max(scale.dense_examples * 2, 600)
+    dimension = min(max(scale.dense_dimension, 48), 64)
+    data = make_dense_classification(rows, dimension, seed=31)
+
+    result = PayloadTransportResult(
+        rows=rows, dimension=dimension, workers=workers, epochs=epochs
+    )
+    models: dict[str, np.ndarray] = {}
+    for transport in ("pickle", "pages"):
+        database = SegmentedDatabase(
+            workers, "postgres", seed=seed, payload_transport=transport
+        )
+        try:
+            load_classification_table(database, "transport", data.examples)
+            task = LogisticRegressionTask(dimension, mu=0.01)
+            config = IGDConfig(
+                max_epochs=epochs,
+                ordering="shuffle_once",
+                seed=seed,
+                parallelism=PureUDAParallelism(backend="process"),
+                parallel_evaluation=True,
+            )
+            run = BismarckRunner(database, task, config).train("transport")
+            pool = database.master.process_pool(workers)
+            result.stats[transport] = dict(pool.transport_stats)
+            result.final_objectives[transport] = run.final_objective
+            models[transport] = run.model.as_flat_vector().copy()
+        finally:
+            database.close()
+    result.models_match = bool(np.array_equal(models["pickle"], models["pages"]))
+    return result

@@ -228,6 +228,33 @@ class ExampleBatch:
             dimension=first.dimension,
         )
 
+    def astype(self, dtype) -> "ExampleBatch":
+        """The same rows with the feature payload cast to ``dtype``.
+
+        Only the dense feature arrays (``X`` for dense, ``data`` for sparse)
+        are cast — labels and CSR structure arrays are *shared* with the
+        source batch, and the batch is returned as-is when the features
+        already have the requested dtype.  This is the float32 compute mode's
+        entry point: the model stays float64, and numpy's upcasting rules
+        make every kernel (``decision_values``, ``row_dot``, ...) mix float32
+        features with float64 weights without further changes.
+        """
+        dtype = np.dtype(dtype)
+        if self.kind == "dense":
+            if self.X.dtype == dtype:
+                return self
+            return ExampleBatch("dense", X=self.X.astype(dtype), y=self.y, dimension=self.dimension)
+        if self.data.dtype == dtype:
+            return self
+        return ExampleBatch(
+            "sparse",
+            indptr=self.indptr,
+            indices=self.indices,
+            data=self.data.astype(dtype),
+            y=self.y,
+            dimension=self.dimension,
+        )
+
     def __repr__(self) -> str:
         return f"ExampleBatch(kind={self.kind!r}, rows={self.length}, dim={self.dimension})"
 
@@ -363,11 +390,20 @@ class ExampleCache:
         return delta
 
     def batches_for(
-        self, table: "Table", task: "Task", chunk_size: int
+        self, table: "Table", task: "Task", chunk_size: int, dtype: str = "float64"
     ) -> "list[ExampleBatch] | None":
-        """Cached batches for ``table`` decoded by ``task``; None if unbatchable."""
+        """Cached batches for ``table`` decoded by ``task``; None if unbatchable.
+
+        ``dtype`` selects the compute dtype of the chunk plane: ``"float64"``
+        (the default) returns the decode-once cached batches; any other value
+        is served as a *derived cast* of the float64 entry — one decode per
+        table version, one cheap vectorized cast per (version, dtype) — so
+        opting into float32 never doubles decode work.
+        """
         if not getattr(task, "supports_batches", False):
             return None
+        if dtype != "float64":
+            return self._cast_batches_for(table, task, chunk_size, dtype)
         key = (table.name, id(task), chunk_size)
         version = table.version
         entry = self._entries.get(key)
@@ -396,6 +432,35 @@ class ExampleCache:
             self.decoded_rows += len(table)
         self._store(key, entry, table, version, batches, task)
         return batches
+
+    def _cast_batches_for(
+        self, table: "Table", task: "Task", chunk_size: int, dtype: str
+    ) -> "list[ExampleBatch] | None":
+        """A cached dtype-cast view of the float64 chunk list (or ``None``).
+
+        Keyed beside the float64 entry with the dtype appended; stale casts
+        (table mutated) are simply re-cast from the — possibly incrementally
+        extended — float64 batches, never re-decoded.  Batch types without a
+        cast kernel (:class:`DecodedExampleBatch`) pass through uncast.
+        """
+        key = (table.name, id(task), chunk_size, dtype)
+        version = table.version
+        entry = self._entries.get(key)
+        if entry is not None and entry.valid_for(table, version):
+            self.hits += 1
+            self._touch(key)
+            return entry.payload
+        base = self.batches_for(table, task, chunk_size)
+        if base is None:
+            cast = None
+        else:
+            target = np.dtype(dtype)
+            cast = [
+                batch.astype(target) if hasattr(batch, "astype") else batch
+                for batch in base
+            ]
+        self._store(key, entry, table, version, cast, task)
+        return cast
 
     def _extend_batches(
         self,

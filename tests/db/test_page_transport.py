@@ -1,0 +1,521 @@
+"""Zero-copy shared-memory chunk pages + float32 compute mode.
+
+The ISSUE-10 acceptance bars:
+
+* **transport is invisible to the arithmetic** — every deterministic scheme
+  (pure-UDA train, loss, accuracy, generic SQL aggregates, ``partial_fit``
+  extend chains including supervisor respawn replay) produces bit-for-bit
+  identical results whether payloads ship pickled or as ``/dev/shm`` chunk
+  pages;
+* **pages actually page** — dense payloads publish into named pages and the
+  pool's transport stats show the pipe carrying descriptors, not arrays;
+* **no residue** — pages are unlinked by ``Database.close()`` and the atexit
+  sweep; ``/dev/shm`` returns to baseline after every page-transport run;
+* **fallback ladder** — a failed publish (``/dev/shm`` exhaustion) degrades
+  that payload to pickled transport, counted, with identical results;
+* **float32 compute mode** — opt-in, deterministic against itself, within an
+  objective band of float64, and float64 stays the bit-for-bit default.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.driver import BismarckRunner, IGDConfig, train
+from repro.core.parallel import PureUDAParallelism, SharedMemoryParallelism
+from repro.core.uda import AccuracyAggregate, LossAggregate
+from repro.data import (
+    load_classification_table,
+    make_dense_classification,
+    make_sparse_classification,
+)
+from repro.db import (
+    Database,
+    ExecutionError,
+    FaultPlan,
+    ProcessBackend,
+    ProcessWorkerPool,
+    SegmentedDatabase,
+    SerialBackend,
+    compile_pass,
+)
+from repro.db import process_backend as pb
+from repro.db.errors import EnvSpecError
+from repro.db.process_backend import resolve_payload_transport
+from repro.db.shared_memory import (
+    ChunkPageSet,
+    attach_chunk_pages,
+)
+from repro.db.supervisor import RecoveryPolicy
+from repro.tasks.logistic_regression import LogisticRegressionTask
+
+pytestmark = pytest.mark.backends
+
+FAST = RecoveryPolicy(timeout=30.0, max_respawns=3, backoff=0.0)
+DIMENSION = 8
+
+
+@pytest.fixture(scope="module")
+def dense_workload():
+    dataset = make_dense_classification(96, DIMENSION, seed=9)
+    return dataset, LogisticRegressionTask(DIMENSION, mu=0.01)
+
+
+@pytest.fixture(scope="module")
+def sparse_workload():
+    dataset = make_sparse_classification(90, 40, nonzeros_per_example=5, seed=13)
+    return dataset, LogisticRegressionTask(dataset.dimension)
+
+
+def _shm_entries() -> set[str]:
+    return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+
+
+# ---------------------------------------------------------------------------
+# Transport resolution & configuration plumbing
+# ---------------------------------------------------------------------------
+class TestTransportResolution:
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAYLOAD_TRANSPORT", raising=False)
+        assert resolve_payload_transport() == "auto"
+
+    @pytest.mark.parametrize("value", ["auto", "pages", "pickle"])
+    def test_env_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PAYLOAD_TRANSPORT", value)
+        assert resolve_payload_transport() == value
+
+    def test_malformed_env_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAYLOAD_TRANSPORT", "zerocopy")
+        with pytest.raises(EnvSpecError, match="REPRO_PAYLOAD_TRANSPORT"):
+            resolve_payload_transport()
+
+    def test_database_validates_eagerly(self):
+        with pytest.raises(ExecutionError, match="transport"):
+            Database("postgres", payload_transport="mmap")
+
+    def test_database_rejects_malformed_env_at_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAYLOAD_TRANSPORT", "zerocopy")
+        with pytest.raises(EnvSpecError):
+            Database("postgres")
+
+    def test_pool_transport_flows_from_database(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAYLOAD_TRANSPORT", raising=False)
+        with Database("postgres", seed=0, payload_transport="pickle") as database:
+            pool = database.process_pool(1)
+            assert pool.transport == "pickle"
+            assert pool.transport_stats["transport"] == "pickle"
+
+
+# ---------------------------------------------------------------------------
+# ChunkPageSet publish/attach round trip
+# ---------------------------------------------------------------------------
+class TestChunkPageSet:
+    def test_round_trip_mixed_dtypes(self):
+        arrays = [
+            np.arange(24, dtype=np.float64).reshape(4, 6),
+            np.arange(7, dtype=np.intp),
+            np.array([], dtype=np.float32),
+            np.arange(5, dtype=np.int32),
+        ]
+        pages = ChunkPageSet.publish(arrays)
+        try:
+            assert pages.nbytes == pages.descriptor.total_bytes
+            shm, views = attach_chunk_pages(pages.descriptor)
+            try:
+                assert len(views) == len(arrays)
+                for original, view in zip(arrays, views):
+                    assert view.dtype == original.dtype
+                    assert view.shape == original.shape
+                    np.testing.assert_array_equal(view, original)
+                    assert not view.flags.writeable
+            finally:
+                del views
+                shm.close()
+        finally:
+            pages.free()
+
+    def test_free_is_idempotent_and_unlinks(self):
+        pages = ChunkPageSet.publish([np.ones(16)])
+        name = pages.descriptor.segment
+        assert name in os.listdir("/dev/shm")
+        pages.free()
+        assert name not in os.listdir("/dev/shm")
+        pages.free()  # second free is a no-op
+
+    def test_worker_views_survive_parent_unlink(self):
+        """Unlink-first semantics: attached mappings outlive the name."""
+        pages = ChunkPageSet.publish([np.arange(10, dtype=np.float64)])
+        shm, views = attach_chunk_pages(pages.descriptor)
+        try:
+            pages.free()  # name gone, mapping still valid
+            np.testing.assert_array_equal(views[0], np.arange(10, dtype=np.float64))
+        finally:
+            del views
+            shm.close()
+
+
+# ---------------------------------------------------------------------------
+# Bit-for-bit parity: pages vs pickled, every deterministic scheme
+# ---------------------------------------------------------------------------
+class TestTransportParity:
+    def _train(self, dataset, task, transport, *, sparse):
+        database = SegmentedDatabase(3, "dbms_b", seed=0, payload_transport=transport)
+        load_classification_table(database, "pts", dataset.examples, sparse=sparse)
+        try:
+            run = train(
+                task,
+                database,
+                "pts",
+                config=IGDConfig(
+                    max_epochs=2,
+                    ordering="shuffle_once",
+                    parallelism=PureUDAParallelism(backend="process"),
+                    seed=0,
+                ),
+            )
+            stats = dict(database.master.process_pool(3).transport_stats)
+        finally:
+            database.close()
+        return run, stats
+
+    @pytest.mark.parametrize("sparse", [False, True], ids=["dense", "sparse"])
+    def test_pure_uda_train_bit_for_bit(self, dense_workload, sparse_workload, sparse):
+        dataset, task = sparse_workload if sparse else dense_workload
+        pickled, _ = self._train(dataset, task, "pickle", sparse=sparse)
+        paged, stats = self._train(dataset, task, "pages", sparse=sparse)
+        assert np.array_equal(
+            pickled.model.as_flat_vector(), paged.model.as_flat_vector()
+        )
+        assert pickled.objective_trace() == paged.objective_trace()
+        assert stats["page_payloads"] >= 1
+        if not sparse:
+            # Dense payloads page wholesale; sparse dict-feature examples
+            # have no arrays to lift and legitimately stay pickled.
+            assert stats["pickle_payloads"] == 0
+            # The pipe carried descriptors + skeletons, not the arrays.
+            assert stats["pages_bytes_shipped"] < stats["page_bytes"]
+
+    @pytest.mark.parametrize("kind", ["loss", "accuracy"])
+    def test_scalar_aggregates_bit_for_bit(self, dense_workload, kind):
+        dataset, task = dense_workload
+        model = task.initial_model()
+        make = LossAggregate if kind == "loss" else AccuracyAggregate
+        values, stats = {}, {}
+        for transport in ("pickle", "pages"):
+            with Database("postgres", seed=0, payload_transport=transport) as database:
+                load_classification_table(database, "pts", dataset.examples)
+                database.executor.chunk_size = 16
+                values[transport] = database.run_aggregate(
+                    "pts", make(task, model), execution="auto", backend="process",
+                    process_workers=2,
+                )
+                stats[transport] = dict(database.process_pool(2).transport_stats)
+        assert values["pickle"] == values["pages"]  # exact, not approx
+        assert stats["pages"]["page_payloads"] >= 1
+
+    def test_generic_sql_aggregate_matches(self, dense_workload):
+        dataset, _ = dense_workload
+        values = {}
+        for transport in ("pickle", "pages"):
+            with Database("postgres", seed=0, payload_transport=transport) as database:
+                load_classification_table(database, "pts", dataset.examples)
+                values[transport] = database.run_aggregate(
+                    "pts", "sum", "id", execution="auto", backend="process",
+                    process_workers=2,
+                )
+        assert values["pickle"] == values["pages"]
+
+    def test_process_shmem_single_worker_bit_for_bit(self, dense_workload):
+        """workers=1 shmem epochs are deterministic: transports must agree."""
+        dataset, task = dense_workload
+        vectors = {}
+        for transport in ("pickle", "pages"):
+            with Database(
+                "postgres", seed=0, payload_transport=transport
+            ) as database:
+                load_classification_table(database, "pts", dataset.examples)
+                run = train(
+                    task,
+                    database,
+                    "pts",
+                    config=IGDConfig(
+                        max_epochs=2,
+                        ordering="shuffle_once",
+                        seed=0,
+                        parallelism=SharedMemoryParallelism(
+                            workers=1, scheme="nolock", backend="process"
+                        ),
+                    ),
+                )
+                vectors[transport] = run.model.as_flat_vector()
+        assert np.array_equal(vectors["pickle"], vectors["pages"])
+
+
+# ---------------------------------------------------------------------------
+# Extend chains: append deltas publish pages; respawn replays them
+# ---------------------------------------------------------------------------
+class TestExtendChainParity:
+    def _partial_fit(self, base, stream, task, transport, *, faults=()):
+        database = SegmentedDatabase(
+            2, "dbms_b", seed=0, payload_transport=transport,
+            recovery=FAST, faults=faults,
+        )
+        load_classification_table(database, "pts", base.examples)
+        config = IGDConfig(
+            max_epochs=2, ordering="shuffle_once", seed=0,
+            parallelism=PureUDAParallelism(backend="process"),
+        )
+        runner = BismarckRunner(database, task, config)
+        try:
+            trained = runner.train("pts")
+            start = len(base.examples)
+            half = len(stream.examples) // 2
+            for lo, hi in ((0, half), (half, len(stream.examples))):
+                database.insert(
+                    "pts",
+                    [
+                        (start + i, ex.features, ex.label)
+                        for i, ex in enumerate(stream.examples[lo:hi], start=lo)
+                    ],
+                )
+            refreshed = runner.partial_fit(
+                "pts",
+                initial_model=trained.model,
+                since_version=trained.table_version,
+                full_pass_every=2,
+            )
+            events = database.master.recovery_events()
+        finally:
+            database.close()
+        assert multiprocessing.active_children() == []
+        return refreshed.model.as_flat_vector(), events
+
+    def test_extend_chain_bit_for_bit(self, dense_workload):
+        dataset, task = dense_workload
+        stream = make_dense_classification(32, DIMENSION, seed=10)
+        pickled, _ = self._partial_fit(dataset, stream, task, "pickle")
+        paged, _ = self._partial_fit(dataset, stream, task, "pages")
+        assert np.array_equal(pickled, paged)
+
+    def test_respawn_replays_paged_chain_bit_for_bit(self, dense_workload):
+        """A worker killed mid-chain is replayed base + deltas as pages."""
+        dataset, task = dense_workload
+        stream = make_dense_classification(32, DIMENSION, seed=10)
+        clean, _ = self._partial_fit(dataset, stream, task, "pages")
+        faulted, events = self._partial_fit(
+            dataset, stream, task, "pages",
+            faults=(FaultPlan("kill", worker=1, epoch=3),),
+        )
+        assert np.array_equal(clean, faulted)
+        replayed = [e for e in events if getattr(e, "payloads_replayed", 0)]
+        assert replayed, "the kill never triggered a payload replay"
+
+
+# ---------------------------------------------------------------------------
+# Fallback ladder: publish failure degrades that payload to pickling
+# ---------------------------------------------------------------------------
+class TestPublishFallback:
+    def test_oserror_falls_back_to_pickle(self, dense_workload, monkeypatch):
+        dataset, task = dense_workload
+
+        class ExhaustedPages:
+            @classmethod
+            def publish(cls, arrays):
+                raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(pb, "ChunkPageSet", ExhaustedPages)
+        model = task.initial_model()
+        with Database("postgres", seed=0, payload_transport="pages") as database:
+            load_classification_table(database, "pts", dataset.examples)
+            serial = database.run_aggregate(
+                "pts", LossAggregate(task, model), execution="auto"
+            )
+            value = database.run_aggregate(
+                "pts", LossAggregate(task, model), execution="auto",
+                backend="process", process_workers=2,
+            )
+            stats = database.process_pool(2).transport_stats
+            assert value == serial
+            assert stats["page_fallbacks"] >= 1
+            assert stats["page_payloads"] == 0
+            assert stats["pickle_payloads"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Residue: pages are freed by close() and leave /dev/shm clean
+# ---------------------------------------------------------------------------
+class TestZeroResidue:
+    def test_close_frees_pages(self, dense_workload):
+        dataset, task = dense_workload
+        baseline = _shm_entries()
+        database = SegmentedDatabase(2, "dbms_b", seed=0, payload_transport="pages")
+        load_classification_table(database, "pts", dataset.examples)
+        train(
+            task,
+            database,
+            "pts",
+            config=IGDConfig(
+                max_epochs=2, ordering="shuffle_once", seed=0,
+                parallelism=PureUDAParallelism(backend="process"),
+            ),
+        )
+        stats = database.master.process_pool(2).transport_stats
+        assert stats["page_payloads"] >= 1
+        database.close()
+        assert _shm_entries() - baseline == set()
+        assert multiprocessing.active_children() == []
+
+    def test_payload_replacement_frees_old_pages(self, dense_workload):
+        """A rebuilt payload (version bump) must not leak its old pages."""
+        dataset, task = dense_workload
+        model = task.initial_model()
+        baseline = _shm_entries()
+        with Database("postgres", seed=0, payload_transport="pages") as database:
+            load_classification_table(database, "pts", dataset.examples)
+            database.run_aggregate(
+                "pts", LossAggregate(task, model), execution="auto",
+                backend="process", process_workers=2,
+            )
+            during = _shm_entries() - baseline
+            # Non-append mutation: bumps the version, forcing a rebuild.
+            database.table("pts").cluster_by("id")
+            database.run_aggregate(
+                "pts", LossAggregate(task, model), execution="auto",
+                backend="process", process_workers=2,
+            )
+            after_rebuild = _shm_entries() - baseline
+            # Old pages were unlinked when the record was replaced, so the
+            # live page population does not grow run-over-run.
+            assert len(after_rebuild) <= len(during)
+        assert _shm_entries() - baseline == set()
+
+
+# ---------------------------------------------------------------------------
+# float32 compute mode
+# ---------------------------------------------------------------------------
+class TestFloat32ComputeMode:
+    def test_config_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError, match="compute dtype"):
+            IGDConfig(compute_dtype="float16")
+
+    def test_compile_pass_rejects_unknown_dtype(self, dense_workload):
+        dataset, task = dense_workload
+        with Database("postgres", seed=0) as database:
+            load_classification_table(database, "pts", dataset.examples)
+            with pytest.raises(ExecutionError, match="compute dtype"):
+                compile_pass(
+                    "loss", database.table("pts"),
+                    lambda: LossAggregate(task, task.initial_model()),
+                    compute_dtype="bfloat16",
+                )
+
+    def _serial_run(self, dataset, task, dtype):
+        with Database("postgres", seed=0) as database:
+            load_classification_table(database, "pts", dataset.examples)
+            run = train(
+                task,
+                database,
+                "pts",
+                config=IGDConfig(
+                    max_epochs=3, ordering="shuffle_once", seed=0,
+                    compute_dtype=dtype,
+                ),
+            )
+        return run
+
+    def test_float32_deterministic_and_in_band(self, dense_workload):
+        dataset, task = dense_workload
+        f64 = self._serial_run(dataset, task, "float64")
+        f32_a = self._serial_run(dataset, task, "float32")
+        f32_b = self._serial_run(dataset, task, "float32")
+        # float32 vs float32: exact.
+        assert np.array_equal(
+            f32_a.model.as_flat_vector(), f32_b.model.as_flat_vector()
+        )
+        assert f32_a.objective_trace() == f32_b.objective_trace()
+        # float32 vs float64: same optimum to a loose band, not bit-equal.
+        assert f32_a.final_objective == pytest.approx(f64.final_objective, rel=1e-3)
+        assert not np.array_equal(
+            f32_a.model.as_flat_vector(), f64.model.as_flat_vector()
+        )
+
+    def test_float64_default_unchanged(self, dense_workload):
+        """Omitting compute_dtype is bit-for-bit the explicit float64 run."""
+        dataset, task = dense_workload
+        explicit = self._serial_run(dataset, task, "float64")
+        with Database("postgres", seed=0) as database:
+            load_classification_table(database, "pts", dataset.examples)
+            default = train(
+                task, database, "pts",
+                config=IGDConfig(max_epochs=3, ordering="shuffle_once", seed=0),
+            )
+        assert np.array_equal(
+            explicit.model.as_flat_vector(), default.model.as_flat_vector()
+        )
+
+    def test_float32_cache_entries_are_casts(self, dense_workload):
+        dataset, task = dense_workload
+        with Database("postgres", seed=0) as database:
+            load_classification_table(database, "pts", dataset.examples)
+            cache = database.executor.example_cache
+            table = database.table("pts")
+            base = cache.batches_for(table, task, 32)
+            cast = cache.batches_for(table, task, 32, dtype="float32")
+            assert base[0].X.dtype == np.float64
+            assert cast[0].X.dtype == np.float32
+            np.testing.assert_allclose(
+                cast[0].X, base[0].X.astype(np.float32), rtol=0
+            )
+            # y is shared, not copied: the cast touches features only.
+            assert cast[0].y is base[0].y
+
+    def test_float32_loss_serial_process_bit_for_bit(self, dense_workload):
+        """Both backends consume the same cached float32 chunks: exact match."""
+        dataset, task = dense_workload
+        with Database("postgres", seed=0, payload_transport="pages") as database:
+            load_classification_table(database, "pts", dataset.examples)
+            database.executor.chunk_size = 16
+            # A nonzero model: with w = 0 every margin is 0 and the loss is
+            # dtype-blind, which would make this test vacuous.
+            model = train(
+                task, database, "pts",
+                config=IGDConfig(max_epochs=1, ordering="shuffle_once", seed=0),
+            ).model
+            plan = compile_pass(
+                "loss", database.table("pts"),
+                lambda: LossAggregate(task, model),
+                execution="auto", workers=2, compute_dtype="float32",
+            )
+            serial = SerialBackend(database).run(plan)
+            parallel = ProcessBackend(database).run(plan)
+            assert serial == parallel
+            # And the float32 pass really computed in float32.
+            f64 = SerialBackend(database).run(
+                compile_pass(
+                    "loss", database.table("pts"),
+                    lambda: LossAggregate(task, model),
+                    execution="auto",
+                )
+            )
+            assert serial != f64
+
+    def test_pass_scoped_dtype_restores(self, dense_workload):
+        """A float32 pass must not leak its dtype into later passes."""
+        dataset, task = dense_workload
+        model = task.initial_model()
+        with Database("postgres", seed=0) as database:
+            load_classification_table(database, "pts", dataset.examples)
+            executor = database.executor
+            assert executor.compute_dtype == "float64"
+            SerialBackend(database).run(
+                compile_pass(
+                    "loss", database.table("pts"),
+                    lambda: LossAggregate(task, model),
+                    execution="auto", compute_dtype="float32",
+                )
+            )
+            assert executor.compute_dtype == "float64"

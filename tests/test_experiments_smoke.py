@@ -18,6 +18,7 @@ from repro.experiments import (
     run_mrs_convergence,
     run_overhead_table,
     run_parallel_convergence,
+    run_payload_transport_experiment,
     run_speedup_experiment,
     time_callable,
     tolerance_target,
@@ -163,3 +164,16 @@ class TestCRFFigure7B:
         assert result.bismarck_objectives[-1] <= result.baseline_objectives[0]
         assert result.bismarck_final_accuracy > 0.5
         assert "Figure 7B" in result.render()
+
+
+class TestPayloadTransportFigure:
+    @pytest.mark.backends
+    def test_pages_ship_order_of_magnitude_fewer_bytes(self):
+        result = run_payload_transport_experiment(TINY, epochs=1)
+        assert result.models_match, "transport changed the arithmetic"
+        assert result.bytes_ratio >= 10.0
+        assert result.stats["pages"]["page_payloads"] >= 1
+        assert result.stats["pages"]["page_fallbacks"] == 0
+        payload = result.bench_payload()
+        assert payload["pages_bytes_shipped"] < payload["pickle_bytes_shipped"]
+        assert "Payload transport" in result.render()
